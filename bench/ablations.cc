@@ -1,0 +1,161 @@
+// Ablations of the design choices Section 4.4 calls out, plus the two
+// implemented future-work extensions (Section 7):
+//   1. MANAGEDRISK without the consumed-regret subtraction of Eq. (1),
+//   2. MANAGEDRISK without the 1/(m-1) factor,
+//   3. MANAGEDRISK without Eq. (3)'s perc weighting (general case),
+//   4. replanning existing sharings when new ones arrive,
+//   5. speculative materialization of high-regret views.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "online/replanner.h"
+#include "online/speculative.h"
+#include "workload/adversarial.h"
+
+namespace dsm {
+namespace bench {
+namespace {
+
+double RunManagedRisk(const Scenario& scenario,
+                      const ManagedRiskOptions& options) {
+  PlanEnumerator enumerator(scenario.catalog.get(), scenario.cluster.get(),
+                            scenario.graph.get(), scenario.model.get(),
+                            EnumeratorOptions{});
+  GlobalPlan global_plan(scenario.cluster.get(), scenario.model.get());
+  PlannerContext ctx{scenario.catalog.get(), scenario.cluster.get(),
+                     scenario.graph.get(),   scenario.model.get(),
+                     &global_plan,           &enumerator};
+  ManagedRiskPlanner planner(ctx, options);
+  for (const Sharing& sharing : scenario.sharings) {
+    (void)planner.ProcessSharing(sharing);
+  }
+  return global_plan.TotalCost();
+}
+
+void RegretAblations() {
+  std::printf("(1,2) Eq. (1) ablations (global cost $, lower is better)\n");
+  std::printf("%-22s %14s %14s %14s %14s\n", "variant", "greedy trap",
+              "normalize trap", "eq1 trap+tail", "eq1 short");
+  const Scenario greedy_trap = MakeGreedyTrap(60, 100.0, 10.0, 1e-3);
+  const Scenario norm_trap = MakeNormalizeTrap(60, 0.01);
+  const Scenario eq1_tail = MakeEquationOneTrap(10, /*include_tail=*/true);
+  const Scenario eq1_short = MakeEquationOneTrap(7, /*include_tail=*/false);
+
+  ManagedRiskOptions full;
+  ManagedRiskOptions no_subtract;
+  no_subtract.subtract_consumed_regret = false;
+  ManagedRiskOptions no_divide;
+  no_divide.divide_by_joins = false;
+
+  for (const auto& [name, options] :
+       std::vector<std::pair<const char*, ManagedRiskOptions>>{
+           {"full ManagedRisk", full},
+           {"no regret subtract", no_subtract},
+           {"no 1/(m-1) factor", no_divide}}) {
+    std::printf("%-22s %14.3f %14.3f %14.3f %14.3f\n", name,
+                RunManagedRisk(greedy_trap, options),
+                RunManagedRisk(norm_trap, options),
+                RunManagedRisk(eq1_tail, options),
+                RunManagedRisk(eq1_short, options));
+  }
+  std::printf("\n");
+}
+
+void PercAblation() {
+  std::printf("(3) perc weighting (Eq. 3) on Twitter with 0-2 "
+              "predicates\n");
+  std::printf("%-22s %14s\n", "variant", "global cost $");
+  for (const bool use_perc : {true, false}) {
+    auto stack = MakeTwitterStack(6);
+    TwitterSequenceOptions options;
+    options.num_sharings = 40;
+    options.max_predicates = 2;
+    options.seed = 424242;
+    const auto sequence = GenerateTwitterSequence(
+        stack->catalog, stack->tables, stack->cluster, options);
+    ManagedRiskOptions mr_options;
+    mr_options.use_perc = use_perc;
+    ManagedRiskPlanner planner(stack->ctx, mr_options);
+    for (const Sharing& sharing : sequence) {
+      (void)planner.ProcessSharing(sharing);
+    }
+    std::printf("%-22s %14.4f\n", use_perc ? "with perc" : "without perc",
+                stack->global_plan->TotalCost());
+  }
+  std::printf("\n");
+}
+
+void ReplannerAblation() {
+  std::printf("(4) replanning existing sharings (Section 7 future work)\n");
+  std::printf("%-22s %14s %14s %8s\n", "scenario", "before $", "after $",
+              "changed");
+  for (const uint64_t seed : {11ull, 22ull, 33ull}) {
+    const Scenario scenario = MakeRandomThreeWay(seed, 30, 16);
+    PlanEnumerator enumerator(scenario.catalog.get(),
+                              scenario.cluster.get(), scenario.graph.get(),
+                              scenario.model.get(), EnumeratorOptions{});
+    GlobalPlan global_plan(scenario.cluster.get(), scenario.model.get());
+    PlannerContext ctx{scenario.catalog.get(), scenario.cluster.get(),
+                       scenario.graph.get(),   scenario.model.get(),
+                       &global_plan,           &enumerator};
+    GreedyPlanner planner(ctx);
+    for (const Sharing& sharing : scenario.sharings) {
+      (void)planner.ProcessSharing(sharing);
+    }
+    Replanner replanner(ctx);
+    const auto report = replanner.Improve();
+    if (!report.ok()) continue;
+    std::printf("random seed %-10llu %14.1f %14.1f %8d\n",
+                static_cast<unsigned long long>(seed), report->cost_before,
+                report->cost_after, report->plans_changed);
+  }
+  std::printf("\n");
+}
+
+void SpeculativeAblation() {
+  std::printf("(5) speculative high-regret views (Section 7 future "
+              "work), greedy-trap sequence\n");
+  std::printf("%-22s %14s %10s\n", "variant", "global cost $", "views");
+  for (const bool speculate : {false, true}) {
+    const Scenario scenario = MakeGreedyTrap(40, 100.0, 10.0, 1e-3);
+    PlanEnumerator enumerator(scenario.catalog.get(),
+                              scenario.cluster.get(), scenario.graph.get(),
+                              scenario.model.get(), EnumeratorOptions{});
+    GlobalPlan global_plan(scenario.cluster.get(), scenario.model.get());
+    PlannerContext ctx{scenario.catalog.get(), scenario.cluster.get(),
+                       scenario.graph.get(),   scenario.model.get(),
+                       &global_plan,           &enumerator};
+    ManagedRiskPlanner planner(ctx);
+    SpeculativeOptions spec_options;
+    spec_options.regret_multiple = 0.5;
+    SpeculativeViewAdvisor advisor(&planner, spec_options);
+    int views = 0;
+    for (const Sharing& sharing : scenario.sharings) {
+      (void)planner.ProcessSharing(sharing);
+      if (speculate) {
+        const auto report = advisor.MaybeSpeculate();
+        if (report.ok()) views += report->views_created;
+      }
+    }
+    std::printf("%-22s %14.3f %10d\n",
+                speculate ? "with speculation" : "plain ManagedRisk",
+                global_plan.TotalCost(), views);
+  }
+}
+
+int Main() {
+  std::printf("Ablation benches (design choices from Sections 4.4/4.5 and "
+              "7)\n\n");
+  RegretAblations();
+  PercAblation();
+  ReplannerAblation();
+  SpeculativeAblation();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dsm
+
+int main() { return dsm::bench::Main(); }

@@ -1,0 +1,183 @@
+// Shared helpers for the reproduction benches. Each bench binary
+// regenerates one table/figure of the paper's evaluation (Section 6) and
+// prints the corresponding rows/series. Set DSM_BENCH_FULL=1 for the
+// paper-scale parameter sweeps (slower); the default is a reduced sweep
+// with the same shape.
+
+#ifndef DSM_BENCH_BENCH_COMMON_H_
+#define DSM_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "cost/default_cost_model.h"
+#include "cost/table_cost_model.h"
+#include "globalplan/global_plan.h"
+#include "online/greedy.h"
+#include "online/managed_risk.h"
+#include "online/normalize.h"
+#include "plan/enumerator.h"
+#include "workload/synthetic.h"
+#include "workload/twitter.h"
+
+namespace dsm {
+namespace bench {
+
+inline bool FullScale() {
+  const char* env = std::getenv("DSM_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// A self-contained Twitter planning stack.
+struct TwitterStack {
+  Catalog catalog;
+  Cluster cluster;
+  TwitterTables tables;
+  std::unique_ptr<JoinGraph> graph;
+  std::unique_ptr<DefaultCostModel> model;
+  std::unique_ptr<PlanEnumerator> enumerator;
+  std::unique_ptr<GlobalPlan> global_plan;
+  PlannerContext ctx;
+};
+
+inline std::unique_ptr<TwitterStack> MakeTwitterStack(
+    size_t machines = 6, EnumeratorOptions enum_options = {}) {
+  auto stack = std::make_unique<TwitterStack>();
+  const auto tables = BuildTwitterCatalog(&stack->catalog);
+  if (!tables.ok()) return nullptr;
+  stack->tables = *tables;
+  for (size_t i = 0; i < machines; ++i) {
+    stack->cluster.AddServer("m" + std::to_string(i));
+  }
+  stack->cluster.PlaceRoundRobin(stack->catalog.num_tables());
+  stack->graph =
+      std::make_unique<JoinGraph>(JoinGraph::FromCatalog(stack->catalog));
+  stack->model = std::make_unique<DefaultCostModel>(&stack->catalog,
+                                                    &stack->cluster);
+  stack->enumerator = std::make_unique<PlanEnumerator>(
+      &stack->catalog, &stack->cluster, stack->graph.get(),
+      stack->model.get(), enum_options);
+  stack->global_plan =
+      std::make_unique<GlobalPlan>(&stack->cluster, stack->model.get());
+  stack->ctx = {&stack->catalog,          &stack->cluster,
+                stack->graph.get(),       stack->model.get(),
+                stack->global_plan.get(), stack->enumerator.get()};
+  return stack;
+}
+
+// A self-contained star-schema planning stack (synthetic experiments).
+struct StarStack {
+  Catalog catalog;
+  Cluster cluster;
+  StarSchema schema;
+  std::unique_ptr<JoinGraph> graph;
+  std::unique_ptr<TableDrivenCostModel> model;
+  std::unique_ptr<PlanEnumerator> enumerator;
+  std::unique_ptr<GlobalPlan> global_plan;
+  PlannerContext ctx;
+};
+
+inline std::unique_ptr<StarStack> MakeStarStack(
+    int facts, int dims, size_t machines,
+    EnumeratorOptions enum_options = {}, uint64_t cost_seed = 42) {
+  auto stack = std::make_unique<StarStack>();
+  StarSchemaOptions schema_options;
+  schema_options.num_fact = facts;
+  schema_options.num_dim = dims;
+  const auto schema = BuildStarCatalog(&stack->catalog, schema_options);
+  if (!schema.ok()) return nullptr;
+  stack->schema = *schema;
+  for (size_t i = 0; i < machines; ++i) {
+    stack->cluster.AddServer("m" + std::to_string(i));
+  }
+  stack->cluster.PlaceRoundRobin(stack->catalog.num_tables());
+  stack->graph =
+      std::make_unique<JoinGraph>(JoinGraph::FromCatalog(stack->catalog));
+  TableDrivenCostModel::Options model_options;
+  model_options.random_min = 1.0;
+  model_options.random_max = 1e5;  // Section 6.1.2
+  model_options.seed = cost_seed;
+  stack->model = std::make_unique<TableDrivenCostModel>(model_options);
+  stack->enumerator = std::make_unique<PlanEnumerator>(
+      &stack->catalog, &stack->cluster, stack->graph.get(),
+      stack->model.get(), enum_options);
+  stack->global_plan =
+      std::make_unique<GlobalPlan>(&stack->cluster, stack->model.get());
+  stack->ctx = {&stack->catalog,          &stack->cluster,
+                stack->graph.get(),       stack->model.get(),
+                stack->global_plan.get(), stack->enumerator.get()};
+  return stack;
+}
+
+enum class Algo { kGreedy, kNormalize, kManagedRisk };
+
+inline const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kGreedy:
+      return "Greedy";
+    case Algo::kNormalize:
+      return "Normalize";
+    case Algo::kManagedRisk:
+      return "ManagedRisk";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<OnlinePlanner> MakePlanner(Algo algo,
+                                                  const PlannerContext& ctx) {
+  switch (algo) {
+    case Algo::kGreedy:
+      return std::make_unique<GreedyPlanner>(ctx);
+    case Algo::kNormalize:
+      return std::make_unique<NormalizePlanner>(ctx);
+    case Algo::kManagedRisk:
+      return std::make_unique<ManagedRiskPlanner>(ctx);
+  }
+  return nullptr;
+}
+
+struct RunStats {
+  double total_cost = 0.0;
+  double seconds = 0.0;
+  size_t planned = 0;
+  size_t rejected = 0;
+};
+
+inline RunStats RunPlanner(OnlinePlanner* planner,
+                           const std::vector<Sharing>& sequence) {
+  RunStats stats;
+  const Timer timer;
+  for (const Sharing& sharing : sequence) {
+    const auto choice = planner->ProcessSharing(sharing);
+    if (choice.ok()) {
+      ++stats.planned;
+    } else {
+      ++stats.rejected;
+    }
+  }
+  stats.seconds = timer.Seconds();
+  stats.total_cost = planner->context().global_plan->TotalCost();
+  return stats;
+}
+
+}  // namespace bench
+}  // namespace dsm
+
+#endif  // DSM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,84 @@
+// Figure 5: running time of the three online planners on the Twitter
+// workload, varying (a) the number of sharings without predicates, (b)
+// with 0–2 predicates, (c) the number of machines, (d) the maximum number
+// of predicates per sharing.
+//
+// Paper shape: the three algorithms track each other closely; time grows
+// mildly with sequence length and machines, and exponentially with the
+// number of predicates.
+
+#include <vector>
+
+#include "bench_common.h"
+
+namespace dsm {
+namespace bench {
+namespace {
+
+double SecondsPerSharing(Algo algo, size_t num_sharings, int max_preds,
+                         size_t machines, uint64_t seed) {
+  // Average three seeds per point to damp workload-sampling noise.
+  double total = 0.0;
+  for (uint64_t rep = 0; rep < 3; ++rep) {
+    auto stack = MakeTwitterStack(machines);
+    TwitterSequenceOptions options;
+    options.num_sharings = num_sharings;
+    options.max_predicates = max_preds;
+    options.seed = seed + rep * 1000;
+    const auto sequence = GenerateTwitterSequence(stack->catalog,
+                                                  stack->tables,
+                                                  stack->cluster, options);
+    const auto planner = MakePlanner(algo, stack->ctx);
+    const RunStats stats = RunPlanner(planner.get(), sequence);
+    total += stats.seconds / static_cast<double>(sequence.size());
+  }
+  return total / 3.0;
+}
+
+void Sweep(const char* title, const std::vector<int>& xs,
+           double (*run)(Algo, int)) {
+  std::printf("%s\n", title);
+  std::printf("%-10s %14s %14s %14s\n", "x", "Greedy(ms)", "Normalize(ms)",
+              "ManagedRisk(ms)");
+  for (const int x : xs) {
+    std::printf("%-10d", x);
+    for (const Algo algo :
+         {Algo::kGreedy, Algo::kNormalize, Algo::kManagedRisk}) {
+      std::printf(" %14.3f", run(algo, x) * 1e3);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+int Main() {
+  std::printf("Figure 5 — per-sharing planning time on Twitter data\n\n");
+
+  Sweep("(a) number of sharings (no predicates, 6 machines)",
+        {10, 20, 30, 40, 50, 60}, [](Algo algo, int n) {
+          return SecondsPerSharing(algo, static_cast<size_t>(n), 0, 6, 101);
+        });
+
+  Sweep("(b) number of sharings (0-2 predicates, 6 machines)",
+        {10, 20, 30, 40, 50, 60}, [](Algo algo, int n) {
+          return SecondsPerSharing(algo, static_cast<size_t>(n), 2, 6, 102);
+        });
+
+  Sweep("(c) number of machines (no predicates, 40 sharings)",
+        {5, 6, 7, 8, 9}, [](Algo algo, int machines) {
+          return SecondsPerSharing(algo, 40, 0,
+                                   static_cast<size_t>(machines), 103);
+        });
+
+  Sweep("(d) max predicates per sharing (40 sharings, 6 machines)",
+        {0, 1, 2, 3}, [](Algo algo, int preds) {
+          return SecondsPerSharing(algo, 40, preds, 6, 104);
+        });
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dsm
+
+int main() { return dsm::bench::Main(); }

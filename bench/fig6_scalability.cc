@@ -1,0 +1,145 @@
+// Figure 6: scalability on the synthetic star schema — per-sharing
+// planning time versus (a) sharing size on one machine, (b) sharing size
+// on ten machines, (c) sequence length, (d) number of machines, (e) total
+// dimension tables, (f) total fact tables. Plan-enumeration time is
+// reported separately, as in the figure's legend.
+//
+// Paper shape: exponential in sharing size (all plans are enumerated),
+// slightly *decreasing* in sequence length (repeat sharings skip
+// planning), increasing in machines, flat in dims/facts.
+
+#include <functional>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace dsm {
+namespace bench {
+namespace {
+
+struct Point {
+  double enumerate_ms = 0.0;  // plan-enumeration share
+  double greedy_ms = 0.0;
+  double norm_ms = 0.0;
+  double mr_ms = 0.0;
+};
+
+Point Measure(int facts, int dims, size_t machines, size_t num_sharings,
+              int max_tables, bool exact_size, uint64_t seed,
+              size_t beam = 0) {
+  EnumeratorOptions enum_options;
+  enum_options.per_subset_cap = beam;
+
+  StarSequenceOptions seq_options;
+  seq_options.num_sharings = num_sharings;
+  seq_options.max_tables = max_tables;
+  seq_options.exact_size = exact_size;
+  seq_options.seed = seed;
+
+  Point point;
+  // Pure enumeration time (shared across planners).
+  {
+    auto stack = MakeStarStack(facts, dims, machines, enum_options);
+    const auto sequence =
+        GenerateStarSharings(stack->schema, stack->cluster, seq_options);
+    const Timer timer;
+    for (const Sharing& sharing : sequence) {
+      (void)stack->enumerator->Enumerate(sharing);
+    }
+    point.enumerate_ms =
+        timer.Millis() / static_cast<double>(sequence.size());
+  }
+  for (const Algo algo :
+       {Algo::kGreedy, Algo::kNormalize, Algo::kManagedRisk}) {
+    auto stack = MakeStarStack(facts, dims, machines, enum_options);
+    const auto sequence =
+        GenerateStarSharings(stack->schema, stack->cluster, seq_options);
+    const auto planner = MakePlanner(algo, stack->ctx);
+    const RunStats stats = RunPlanner(planner.get(), sequence);
+    const double ms =
+        stats.seconds * 1e3 / static_cast<double>(sequence.size());
+    if (algo == Algo::kGreedy) point.greedy_ms = ms;
+    if (algo == Algo::kNormalize) point.norm_ms = ms;
+    if (algo == Algo::kManagedRisk) point.mr_ms = ms;
+  }
+  return point;
+}
+
+void PrintHeader() {
+  std::printf("%-10s %14s %12s %14s %14s\n", "x", "Enumerate(ms)",
+              "Greedy(ms)", "Normalize(ms)", "ManagedRisk(ms)");
+}
+
+void PrintRow(int x, const Point& p) {
+  std::printf("%-10d %14.3f %12.3f %14.3f %14.3f\n", x, p.enumerate_ms,
+              p.greedy_ms, p.norm_ms, p.mr_ms);
+}
+
+int Main() {
+  const bool full = FullScale();
+  const size_t seq = full ? 1000 : 100;
+
+  std::printf("Figure 6 — scalability on the synthetic star schema "
+              "(%szed sweep)\n\n",
+              full ? "full-si" : "reduced-si");
+
+  std::printf("(a) sharing size, 1 machine, %zu sharings\n", seq / 2);
+  PrintHeader();
+  for (const int size : full ? std::vector<int>{6, 7, 8, 9, 10}
+                             : std::vector<int>{5, 6, 7, 8}) {
+    PrintRow(size, Measure(1, 20, 1, seq / 2, size, /*exact_size=*/true,
+                           601));
+  }
+
+  std::printf("\n(b) sharing size, 10 machines, %zu sharings\n", seq / 2);
+  PrintHeader();
+  for (const int size : full ? std::vector<int>{4, 5, 6, 7, 8}
+                             : std::vector<int>{4, 5, 6}) {
+    PrintRow(size, Measure(1, 20, 10, seq / 2, size, /*exact_size=*/true,
+                           602, /*beam=*/full ? 0 : 32));
+  }
+
+  std::printf("\n(c) number of sharings in the sequence (1 machine, "
+              "up to 7 tables)\n");
+  PrintHeader();
+  for (const int n : full ? std::vector<int>{500, 1000, 1500, 2000, 2500}
+                          : std::vector<int>{100, 200, 300, 400, 500}) {
+    PrintRow(n, Measure(1, 20, 1, static_cast<size_t>(n), 7,
+                        /*exact_size=*/false, 603));
+  }
+
+  std::printf("\n(d) number of machines (%zu sharings, up to 6 tables)\n",
+              seq / 2);
+  PrintHeader();
+  for (const int machines : full ? std::vector<int>{1, 5, 10, 15, 20}
+                                 : std::vector<int>{1, 5, 10}) {
+    PrintRow(machines,
+             Measure(1, 20, static_cast<size_t>(machines), seq / 2, 6,
+                     /*exact_size=*/false, 604, /*beam=*/full ? 0 : 32));
+  }
+
+  std::printf("\n(e) total dimension tables (%zu sharings, up to 6 "
+              "tables, 1 machine)\n",
+              seq / 2);
+  PrintHeader();
+  for (const int dims : {10, 15, 20, 25, 30}) {
+    PrintRow(dims, Measure(1, dims, 1, seq / 2, 6, /*exact_size=*/false,
+                           605));
+  }
+
+  std::printf("\n(f) total fact tables (%zu sharings, up to 6 tables, "
+              "1 machine)\n",
+              seq / 2);
+  PrintHeader();
+  for (const int facts : {1, 2, 3, 4, 5}) {
+    PrintRow(facts, Measure(facts, 20, 1, seq / 2, 6, /*exact_size=*/false,
+                            606));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dsm
+
+int main() { return dsm::bench::Main(); }

@@ -1,0 +1,71 @@
+// Figure 8: average per-sharing processing time of algorithm FAIRCOST
+// (including the LPC computation that dominates it) as the sequence grows,
+// with and without predicates.
+//
+// Paper shape: flat in the sequence position; grows quickly with the
+// number of predicates (more plans to enumerate for LPC).
+
+#include <vector>
+
+#include "bench_common.h"
+#include "costing/lpc.h"
+#include "costing/savings.h"
+
+namespace dsm {
+namespace bench {
+namespace {
+
+// Milliseconds of FAIRCOST work per sharing: LPCs + problem build + the
+// binary search, amortized over the sharings in the global plan.
+double FairCostMillisPerSharing(size_t num_sharings, int max_preds,
+                                uint64_t seed) {
+  auto stack = MakeTwitterStack(6);
+  TwitterSequenceOptions options;
+  options.num_sharings = num_sharings;
+  options.max_predicates = max_preds;
+  options.seed = seed;
+  const auto sequence = GenerateTwitterSequence(stack->catalog,
+                                                stack->tables,
+                                                stack->cluster, options);
+  const auto planner = MakePlanner(Algo::kManagedRisk, stack->ctx);
+  (void)RunPlanner(planner.get(), sequence);
+
+  const Timer timer;
+  LpcCalculator lpc(stack->enumerator.get(), stack->model.get());
+  const auto problem = BuildFairCostProblem(*stack->global_plan, &lpc);
+  if (!problem.ok()) return -1.0;
+  const auto fair =
+      FairCost::Compute(problem->entries, problem->global_cost);
+  if (!fair.ok()) return -1.0;
+  return timer.Millis() / static_cast<double>(problem->entries.size());
+}
+
+int Main() {
+  std::printf("Figure 8 — FAIRCOST processing time per sharing (ms)\n\n");
+  std::printf("%-10s %16s %20s %22s\n", "sharings", "no predicates",
+              "0-2 preds/sharing", "0-3 preds (40-50 only)");
+  for (const auto& [lo, hi] :
+       std::vector<std::pair<int, int>>{
+           {10, 20}, {20, 30}, {30, 40}, {40, 50}, {50, 60}}) {
+    const size_t mid = static_cast<size_t>((lo + hi) / 2);
+    const double none = FairCostMillisPerSharing(mid, 0, 810 + mid);
+    const double two = FairCostMillisPerSharing(mid, 2, 820 + mid);
+    const double three = (lo == 40)
+                             ? FairCostMillisPerSharing(45, 3, 830)
+                             : -1.0;
+    std::printf("%3d-%-6d %16.3f %20.3f", lo, hi, none, two);
+    if (three >= 0.0) {
+      std::printf(" %22.3f", three);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(ms growth with predicates reflects the larger LPC plan "
+              "space, as in the paper)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dsm
+
+int main() { return dsm::bench::Main(); }

@@ -1,0 +1,135 @@
+// dsm_inspect: provider tooling — dump, audit and re-cost a saved market
+// state file (see src/io/market_io.h).
+//
+//   dsm_inspect <state-file>     inspect a saved market
+//   dsm_inspect --demo           build a demo market, save it to a
+//                                temporary file, then inspect that file
+//
+// Shows the catalog, the cluster, every active sharing with its restored
+// plan and reuse decisions, and the FAIRCOST bill.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cost/default_cost_model.h"
+#include "costing/costing_session.h"
+#include "io/market_io.h"
+#include "online/managed_risk.h"
+#include "plan/explain.h"
+#include "workload/twitter.h"
+
+namespace {
+
+int WriteDemoState(const std::string& path) {
+  dsm::Catalog catalog;
+  const auto tables = dsm::BuildTwitterCatalog(&catalog);
+  if (!tables.ok()) return 1;
+  dsm::Cluster cluster;
+  for (int i = 0; i < 4; ++i) cluster.AddServer("m" + std::to_string(i));
+  cluster.PlaceRoundRobin(catalog.num_tables());
+  const dsm::JoinGraph graph = dsm::JoinGraph::FromCatalog(catalog);
+  dsm::DefaultCostModel model(&catalog, &cluster);
+  dsm::PlanEnumerator enumerator(&catalog, &cluster, &graph, &model, {});
+  dsm::GlobalPlan global_plan(&cluster, &model);
+  dsm::PlannerContext ctx{&catalog, &cluster,     &graph,
+                          &model,   &global_plan, &enumerator};
+  dsm::ManagedRiskPlanner planner(ctx);
+
+  dsm::TwitterSequenceOptions options;
+  options.num_sharings = 8;
+  options.max_predicates = 1;
+  options.seed = 7;
+  for (const dsm::Sharing& sharing : dsm::GenerateTwitterSequence(
+           catalog, *tables, cluster, options)) {
+    if (!planner.ProcessSharing(sharing).ok()) return 1;
+  }
+
+  std::ofstream out(path);
+  if (!dsm::WriteMarketState(catalog, cluster, &global_plan, &out).ok()) {
+    return 1;
+  }
+  std::printf("demo market saved to %s\n\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc == 2 && std::string(argv[1]) == "--demo") {
+    path = "/tmp/dsm_demo_market.txt";
+    if (WriteDemoState(path) != 0) {
+      std::fprintf(stderr, "failed to build demo state\n");
+      return 1;
+    }
+  } else if (argc == 2) {
+    path = argv[1];
+  } else {
+    std::fprintf(stderr, "usage: dsm_inspect <state-file> | --demo\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const auto state = dsm::ReadMarketState(&in);
+  if (!state.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 state.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("catalog: %zu tables\n", state->catalog.num_tables());
+  for (dsm::TableId t = 0; t < state->catalog.num_tables(); ++t) {
+    const dsm::TableDef& def = state->catalog.table(t);
+    const auto home = state->cluster.HomeOf(t);
+    std::printf("  %-10s %10.0f rows, %8.1f updates/unit, on %s\n",
+                def.name.c_str(), def.stats.cardinality,
+                def.stats.update_rate,
+                home.ok()
+                    ? state->cluster.server(*home).name.c_str()
+                    : "<unplaced>");
+  }
+  std::printf("cluster: %zu servers\n\n", state->cluster.num_servers());
+
+  // Restore the global plan and audit it.
+  dsm::DefaultCostModel model(&state->catalog, &state->cluster);
+  dsm::GlobalPlan global_plan(&state->cluster, &model);
+  if (!dsm::RestoreGlobalPlan(*state, &global_plan).ok()) {
+    std::fprintf(stderr, "restore failed\n");
+    return 1;
+  }
+  std::printf("%s\n", dsm::ExplainGlobalPlan(global_plan, state->cluster,
+                                             state->catalog)
+                          .c_str());
+  for (const dsm::SharingStateEntry& entry : state->sharings) {
+    std::printf("%s\n", dsm::ExplainSharing(global_plan, entry.id,
+                                            state->catalog)
+                            .c_str());
+  }
+
+  // Re-cost the restored market.
+  const dsm::JoinGraph graph = dsm::JoinGraph::FromCatalog(state->catalog);
+  dsm::PlanEnumerator enumerator(&state->catalog, &state->cluster, &graph,
+                                 &model, {});
+  dsm::LpcCalculator lpc(&enumerator, &model);
+  dsm::CostingSession costing(&global_plan, &lpc);
+  const auto snapshot = costing.Refresh();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "costing failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("bill (alpha %.3f%s): total $%.5f\n", snapshot->alpha,
+              snapshot->criteria_satisfied ? "" : ", LPC-overrun fallback",
+              snapshot->global_cost);
+  for (const auto& [id, ac] : snapshot->ac) {
+    std::printf("  sharing %-4llu AC $%.5f  (LPC $%.5f)\n",
+                static_cast<unsigned long long>(id), ac,
+                snapshot->lpc.at(id));
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "catalog/catalog.h"
+
+namespace dsm {
+
+Result<TableId> Catalog::AddTable(TableDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (by_name_.count(def.name) != 0) {
+    return Status::AlreadyExists("table already registered: " + def.name);
+  }
+  if (tables_.size() >= TableSet::kMaxTables) {
+    return Status::InvalidArgument("catalog limited to 64 tables");
+  }
+  const auto id = static_cast<TableId>(tables_.size());
+  def.id = id;
+  by_name_[def.name] = id;
+  tables_.push_back(std::move(def));
+  return id;
+}
+
+Result<TableId> Catalog::FindTable(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::Joinable(TableId a, TableId b) const {
+  const TableDef& ta = tables_[a];
+  const TableDef& tb = tables_[b];
+  for (const ColumnDef& ca : ta.columns) {
+    if (tb.FindColumn(ca.name) >= 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Catalog::SharedColumns(TableId a, TableId b) const {
+  std::vector<std::string> out;
+  const TableDef& ta = tables_[a];
+  const TableDef& tb = tables_[b];
+  for (const ColumnDef& ca : ta.columns) {
+    if (tb.FindColumn(ca.name) >= 0) out.push_back(ca.name);
+  }
+  return out;
+}
+
+TableSet Catalog::AllTables() const {
+  TableSet s;
+  for (TableId id = 0; id < tables_.size(); ++id) s.Add(id);
+  return s;
+}
+
+}  // namespace dsm

@@ -1,0 +1,50 @@
+// The catalog: the set of base tables offered for sale in the data market.
+
+#ifndef DSM_CATALOG_CATALOG_H_
+#define DSM_CATALOG_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/table_def.h"
+#include "catalog/table_set.h"
+#include "common/status.h"
+
+namespace dsm {
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Registers a table; assigns and returns its TableId. Fails if the name
+  // already exists or the 64-table limit would be exceeded.
+  Result<TableId> AddTable(TableDef def);
+
+  // Number of registered tables.
+  size_t num_tables() const { return tables_.size(); }
+
+  // Precondition: id < num_tables().
+  const TableDef& table(TableId id) const { return tables_[id]; }
+  TableDef& mutable_table(TableId id) { return tables_[id]; }
+
+  Result<TableId> FindTable(const std::string& name) const;
+
+  // True if tables `a` and `b` share at least one column name, i.e. their
+  // natural join is non-degenerate (not a cross product).
+  bool Joinable(TableId a, TableId b) const;
+
+  // Column names shared by `a` and `b`.
+  std::vector<std::string> SharedColumns(TableId a, TableId b) const;
+
+  // All tables as a set.
+  TableSet AllTables() const;
+
+ private:
+  std::vector<TableDef> tables_;
+  std::unordered_map<std::string, TableId> by_name_;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_CATALOG_CATALOG_H_

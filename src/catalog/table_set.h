@@ -1,0 +1,94 @@
+// TableSet: a set of base-table ids represented as a 64-bit mask.
+//
+// Subexpression identity, regret bookkeeping and join-graph reasoning all
+// operate on sets of base tables; a bitmask keeps those operations O(1).
+// The library therefore supports up to 64 base tables per catalog, which
+// comfortably covers the paper's workloads (9 Twitter relations; up to
+// 5 fact + 30 dimension tables in the synthetic star schema).
+
+#ifndef DSM_CATALOG_TABLE_SET_H_
+#define DSM_CATALOG_TABLE_SET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsm {
+
+// Identifies a base table registered in a Catalog. Dense, starting at 0.
+using TableId = uint32_t;
+
+class TableSet {
+ public:
+  static constexpr int kMaxTables = 64;
+
+  constexpr TableSet() = default;
+  constexpr explicit TableSet(uint64_t mask) : mask_(mask) {}
+
+  // The singleton set {id}.
+  static constexpr TableSet Of(TableId id) { return TableSet(1ULL << id); }
+
+  constexpr uint64_t mask() const { return mask_; }
+  constexpr bool empty() const { return mask_ == 0; }
+  int size() const { return std::popcount(mask_); }
+
+  constexpr bool Contains(TableId id) const {
+    return (mask_ >> id) & 1ULL;
+  }
+  constexpr bool ContainsAll(TableSet other) const {
+    return (mask_ & other.mask_) == other.mask_;
+  }
+  constexpr bool Intersects(TableSet other) const {
+    return (mask_ & other.mask_) != 0;
+  }
+
+  constexpr TableSet Union(TableSet other) const {
+    return TableSet(mask_ | other.mask_);
+  }
+  constexpr TableSet Intersect(TableSet other) const {
+    return TableSet(mask_ & other.mask_);
+  }
+  constexpr TableSet Minus(TableSet other) const {
+    return TableSet(mask_ & ~other.mask_);
+  }
+
+  void Add(TableId id) { mask_ |= 1ULL << id; }
+  void Remove(TableId id) { mask_ &= ~(1ULL << id); }
+
+  // Member table ids in increasing order.
+  std::vector<TableId> ToVector() const {
+    std::vector<TableId> out;
+    out.reserve(static_cast<size_t>(size()));
+    uint64_t m = mask_;
+    while (m != 0) {
+      out.push_back(static_cast<TableId>(std::countr_zero(m)));
+      m &= m - 1;
+    }
+    return out;
+  }
+
+  friend constexpr bool operator==(TableSet a, TableSet b) {
+    return a.mask_ == b.mask_;
+  }
+  friend constexpr bool operator<(TableSet a, TableSet b) {
+    return a.mask_ < b.mask_;
+  }
+
+ private:
+  uint64_t mask_ = 0;
+};
+
+struct TableSetHash {
+  size_t operator()(TableSet s) const {
+    // splitmix64 finalizer: good avalanche for mask values.
+    uint64_t z = s.mask() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace dsm
+
+#endif  // DSM_CATALOG_TABLE_SET_H_

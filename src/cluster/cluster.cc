@@ -1,0 +1,35 @@
+#include "cluster/cluster.h"
+
+namespace dsm {
+
+ServerId Cluster::AddServer(std::string name, double capacity) {
+  const auto id = static_cast<ServerId>(servers_.size());
+  servers_.push_back(Server{id, std::move(name), capacity});
+  return id;
+}
+
+Status Cluster::PlaceTable(TableId t, ServerId s) {
+  if (s >= servers_.size()) {
+    return Status::InvalidArgument("no such server");
+  }
+  if (home_.size() <= t) home_.resize(t + 1, -1);
+  home_[t] = static_cast<int64_t>(s);
+  return Status::OK();
+}
+
+void Cluster::PlaceRoundRobin(size_t num_tables) {
+  if (servers_.empty()) return;
+  home_.assign(num_tables, -1);
+  for (size_t t = 0; t < num_tables; ++t) {
+    home_[t] = static_cast<int64_t>(t % servers_.size());
+  }
+}
+
+Result<ServerId> Cluster::HomeOf(TableId t) const {
+  if (t >= home_.size() || home_[t] < 0) {
+    return Status::NotFound("table has no home server");
+  }
+  return static_cast<ServerId>(home_[t]);
+}
+
+}  // namespace dsm

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the library (workload generators, predicate
+// generators, synthetic cost models) draw from an explicitly seeded Rng so
+// that every experiment is reproducible bit-for-bit across runs.
+
+#ifndef DSM_COMMON_RNG_H_
+#define DSM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dsm {
+
+// xoshiro256** seeded via splitmix64. Not cryptographic; fast and
+// statistically solid for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Zipf-distributed index in [0, n) with exponent `s` (s = 0 is uniform).
+  // Uses a precomputed CDF cached for the (n, s) pair most recently used.
+  uint32_t Zipf(uint32_t n, double s);
+
+  // Returns a uniformly random subset of size k of {0, .., n-1}.
+  std::vector<uint32_t> Sample(uint32_t n, uint32_t k);
+
+ private:
+  uint64_t state_[4];
+
+  // Cache for Zipf CDF.
+  uint32_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_COMMON_RNG_H_

@@ -1,0 +1,23 @@
+#include "common/string_util.h"
+
+#include <cstdio>
+
+namespace dsm {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatCost(double cost) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", cost);
+  return buf;
+}
+
+}  // namespace dsm

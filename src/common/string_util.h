@@ -1,0 +1,20 @@
+// Small string helpers shared across modules.
+
+#ifndef DSM_COMMON_STRING_UTIL_H_
+#define DSM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// Formats a dollar cost with fixed precision, e.g. "12.60".
+std::string FormatCost(double cost);
+
+}  // namespace dsm
+
+#endif  // DSM_COMMON_STRING_UTIL_H_

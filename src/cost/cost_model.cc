@@ -1,0 +1,84 @@
+#include "cost/cost_model.h"
+
+#include <cassert>
+
+namespace dsm {
+
+double PlanNodeCost(const SharingPlan& plan, size_t index, CostModel* model) {
+  const PlanNode& n = plan.nodes[index];
+  switch (n.type) {
+    case PlanNodeType::kLeaf:
+      return model->LeafCost(n.base_table, n.key, n.server);
+    case PlanNodeType::kJoin: {
+      const PlanNode& l = plan.nodes[static_cast<size_t>(n.left)];
+      const PlanNode& r = plan.nodes[static_cast<size_t>(n.right)];
+      return model->JoinCost(n.key, n.server, l.key, l.server, r.key,
+                             r.server);
+    }
+    case PlanNodeType::kFilterCopy: {
+      const PlanNode& src = plan.nodes[static_cast<size_t>(n.left)];
+      return model->FilterCopyCost(src.key, src.server, n.key, n.server);
+    }
+  }
+  assert(false && "unreachable");
+  return 0.0;
+}
+
+double PlanCost(const SharingPlan& plan, CostModel* model) {
+  double total = 0.0;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    total += PlanNodeCost(plan, i, model);
+  }
+  return total;
+}
+
+CostBreakdown PlanCostBreakdown(const SharingPlan& plan, CostModel* model) {
+  CostBreakdown total;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& n = plan.nodes[i];
+    switch (n.type) {
+      case PlanNodeType::kLeaf:
+        // Leaf filtering is a cpu-side cost.
+        total.cpu += model->LeafCost(n.base_table, n.key, n.server);
+        break;
+      case PlanNodeType::kJoin: {
+        const PlanNode& l = plan.nodes[static_cast<size_t>(n.left)];
+        const PlanNode& r = plan.nodes[static_cast<size_t>(n.right)];
+        total += model->JoinCostDetail(n.key, n.server, l.key, l.server,
+                                       r.key, r.server);
+        break;
+      }
+      case PlanNodeType::kFilterCopy: {
+        const PlanNode& src = plan.nodes[static_cast<size_t>(n.left)];
+        total += model->FilterCopyCostDetail(src.key, src.server, n.key,
+                                             n.server);
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+double PlanNodeLoad(const SharingPlan& plan, size_t index, CostModel* model) {
+  const PlanNode& n = plan.nodes[index];
+  switch (n.type) {
+    case PlanNodeType::kLeaf:
+      // Filtered leaves process the base table's delta stream.
+      return n.key.predicates.empty()
+                 ? 0.0
+                 : model->DeltaRate(ViewKey(TableSet::Of(n.base_table)));
+    case PlanNodeType::kJoin: {
+      const PlanNode& l = plan.nodes[static_cast<size_t>(n.left)];
+      const PlanNode& r = plan.nodes[static_cast<size_t>(n.right)];
+      return model->DeltaRate(l.key) + model->DeltaRate(r.key);
+    }
+    case PlanNodeType::kFilterCopy: {
+      const PlanNode& src = plan.nodes[static_cast<size_t>(n.left)];
+      return model->DeltaRate(src.key);
+    }
+  }
+  assert(false && "unreachable");
+  return 0.0;
+}
+
+}  // namespace dsm

@@ -1,0 +1,105 @@
+// CostModel: dollar cost per time unit of maintenance operators.
+//
+// The paper assumes "the data market service provider has a cost model for
+// estimating the dollar cost of each subexpression" (Section 3.3) and, in
+// the evaluation, uses the calibrated analytical model of its substrate
+// system [9] "instead of setting up and running the sharings". This
+// interface is that assumption made explicit. Two implementations ship:
+//  * DefaultCostModel — analytical, driven by catalog statistics and the
+//    cluster's dollar rates (the [9]-style model).
+//  * TableDrivenCostModel — explicit per-join costs, used for the paper's
+//    synthetic experiments ("the cost of each join is a random number
+//    between 1 and 1e5") and the worked examples (4.1, 4.2, 5.1).
+
+#ifndef DSM_COST_COST_MODEL_H_
+#define DSM_COST_COST_MODEL_H_
+
+#include "cluster/cluster.h"
+#include "expr/view_key.h"
+#include "plan/plan.h"
+
+namespace dsm {
+
+// Per-resource dollar decomposition of an operator's cost, mirroring how
+// an IaaS bill itemizes compute, traffic and storage.
+struct CostBreakdown {
+  double cpu = 0.0;
+  double network = 0.0;
+  double storage = 0.0;
+
+  double total() const { return cpu + network + storage; }
+  CostBreakdown& operator+=(const CostBreakdown& other) {
+    cpu += other.cpu;
+    network += other.network;
+    storage += other.storage;
+    return *this;
+  }
+};
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  // $ per time unit to maintain the join view `out` at `server` from the
+  // child views (each possibly on a different server; cross-server children
+  // imply delta-copy traffic as in Figure 2).
+  virtual double JoinCost(const ViewKey& out, ServerId server,
+                          const ViewKey& left, ServerId left_server,
+                          const ViewKey& right, ServerId right_server) = 0;
+
+  // $ per time unit to derive `out` from the existing view `src` by
+  // applying residual predicates and/or relocating the delta stream to
+  // `out_server`. Zero when src == out on the same server.
+  virtual double FilterCopyCost(const ViewKey& src, ServerId src_server,
+                                const ViewKey& out, ServerId out_server) = 0;
+
+  // $ per time unit for a (possibly filtered) base-table leaf. Unfiltered
+  // leaves cost nothing: owners already maintain their tables.
+  virtual double LeafCost(TableId table, const ViewKey& key,
+                          ServerId server) = 0;
+
+  // Update tuples per time unit emitted by the view — both the input load
+  // its consumers must process and the basis for capacity accounting.
+  virtual double DeltaRate(const ViewKey& key) = 0;
+
+  // perc_s(P) from Eq. (3): the fraction of the *unpredicated* result of
+  // key.tables that this (possibly predicated) view materializes.
+  virtual double Perc(const ViewKey& key) = 0;
+
+  // Itemized versions of the cost queries. The default attributes the
+  // whole cost to cpu; models that distinguish resources override these
+  // (DefaultCostModel does).
+  virtual CostBreakdown JoinCostDetail(const ViewKey& out, ServerId server,
+                                       const ViewKey& left,
+                                       ServerId left_server,
+                                       const ViewKey& right,
+                                       ServerId right_server) {
+    return CostBreakdown{
+        JoinCost(out, server, left, left_server, right, right_server), 0.0,
+        0.0};
+  }
+  virtual CostBreakdown FilterCopyCostDetail(const ViewKey& src,
+                                             ServerId src_server,
+                                             const ViewKey& out,
+                                             ServerId out_server) {
+    return CostBreakdown{FilterCopyCost(src, src_server, out, out_server),
+                         0.0, 0.0};
+  }
+};
+
+// Standalone $ cost of one plan node (no reuse considered).
+double PlanNodeCost(const SharingPlan& plan, size_t index, CostModel* model);
+
+// Standalone $ cost of a whole plan: the sum of its node costs. This is
+// C[P] in the paper's notation when no subexpression is reused.
+double PlanCost(const SharingPlan& plan, CostModel* model);
+
+// Input delta rate a node imposes on its server (for capacity checks).
+double PlanNodeLoad(const SharingPlan& plan, size_t index, CostModel* model);
+
+// Itemized standalone cost of a whole plan (cpu / network / storage).
+CostBreakdown PlanCostBreakdown(const SharingPlan& plan, CostModel* model);
+
+}  // namespace dsm
+
+#endif  // DSM_COST_COST_MODEL_H_

@@ -1,0 +1,63 @@
+#include "cost/table_cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsm {
+
+TableDrivenCostModel::PairKey TableDrivenCostModel::MakeKey(TableSet a,
+                                                            TableSet b) {
+  return PairKey{std::min(a.mask(), b.mask()), std::max(a.mask(), b.mask())};
+}
+
+void TableDrivenCostModel::SetJoinCost(TableSet a, TableSet b, double cost) {
+  join_costs_[MakeKey(a, b)] = cost;
+}
+
+double TableDrivenCostModel::LookupJoinCost(TableSet a, TableSet b) {
+  const PairKey key = MakeKey(a, b);
+  const auto it = join_costs_.find(key);
+  if (it != join_costs_.end()) return it->second;
+  const double cost =
+      rng_.UniformDouble(options_.random_min, options_.random_max);
+  join_costs_.emplace(key, cost);
+  return cost;
+}
+
+double TableDrivenCostModel::JoinCost(const ViewKey& /*out*/, ServerId server,
+                                      const ViewKey& left,
+                                      ServerId left_server,
+                                      const ViewKey& right,
+                                      ServerId right_server) {
+  double cost = LookupJoinCost(left.tables, right.tables);
+  if (left_server != server) cost += options_.transfer_cost;
+  if (right_server != server) cost += options_.transfer_cost;
+  return cost;
+}
+
+double TableDrivenCostModel::FilterCopyCost(const ViewKey& src,
+                                            ServerId src_server,
+                                            const ViewKey& out,
+                                            ServerId out_server) {
+  if (src == out && src_server == out_server) return 0.0;
+  double cost = 0.0;
+  if (src_server != out_server) cost += options_.transfer_cost;
+  return cost;
+}
+
+double TableDrivenCostModel::LeafCost(TableId /*table*/,
+                                      const ViewKey& /*key*/,
+                                      ServerId /*server*/) {
+  return 0.0;
+}
+
+double TableDrivenCostModel::DeltaRate(const ViewKey& /*key*/) {
+  return options_.delta_rate;
+}
+
+double TableDrivenCostModel::Perc(const ViewKey& key) {
+  return std::pow(options_.predicate_selectivity,
+                  static_cast<double>(key.predicates.size()));
+}
+
+}  // namespace dsm

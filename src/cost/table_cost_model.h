@@ -1,0 +1,83 @@
+// TableDrivenCostModel: explicit per-join costs.
+//
+// Used for (a) the paper's synthetic scalability experiments, where "the
+// cost of each join is a random number between 1 and 1e5" (Section 6.1.2),
+// and (b) reconstructing the worked examples (4.1, 4.2, 5.1) whose
+// arithmetic depends on exact hand-picked subexpression costs.
+//
+// The cost of a join depends on the unordered pair of input table sets, so
+// c[(ab)c] and c[a(bc)] are independent knobs, exactly as in Example 4.1.
+
+#ifndef DSM_COST_TABLE_COST_MODEL_H_
+#define DSM_COST_TABLE_COST_MODEL_H_
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "cost/cost_model.h"
+
+namespace dsm {
+
+class TableDrivenCostModel : public CostModel {
+ public:
+  struct Options {
+    // Costs for join pairs not set explicitly are drawn uniformly from
+    // [random_min, random_max] and memoized (deterministic per seed).
+    double random_min = 1.0;
+    double random_max = 1e5;
+    uint64_t seed = 42;
+    // $ charged whenever a delta stream crosses servers.
+    double transfer_cost = 0.0;
+    // Per-predicate selectivity used for Perc (Eq. 3) in synthetic runs.
+    double predicate_selectivity = 0.5;
+    // Uniform per-view delta rate used for capacity accounting.
+    double delta_rate = 1.0;
+  };
+
+  TableDrivenCostModel() : TableDrivenCostModel(Options{}) {}
+  explicit TableDrivenCostModel(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  // Pins the cost of joining (a result over) `a` with (a result over) `b`.
+  // Order-insensitive.
+  void SetJoinCost(TableSet a, TableSet b, double cost);
+
+  double JoinCost(const ViewKey& out, ServerId server, const ViewKey& left,
+                  ServerId left_server, const ViewKey& right,
+                  ServerId right_server) override;
+  double FilterCopyCost(const ViewKey& src, ServerId src_server,
+                        const ViewKey& out, ServerId out_server) override;
+  double LeafCost(TableId table, const ViewKey& key,
+                  ServerId server) override;
+  double DeltaRate(const ViewKey& key) override;
+  double Perc(const ViewKey& key) override;
+
+ private:
+  struct PairKey {
+    uint64_t lo;
+    uint64_t hi;
+    friend bool operator==(const PairKey& a, const PairKey& b) {
+      return a.lo == b.lo && a.hi == b.hi;
+    }
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const {
+      uint64_t z = k.lo * 0x9e3779b97f4a7c15ULL ^ (k.hi + 0x94d049bb133111ebULL);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      return static_cast<size_t>(z ^ (z >> 31));
+    }
+  };
+
+  static PairKey MakeKey(TableSet a, TableSet b);
+
+  // Explicit or memoized-random cost of the pair.
+  double LookupJoinCost(TableSet a, TableSet b);
+
+  Options options_;
+  Rng rng_;
+  std::unordered_map<PairKey, double, PairKeyHash> join_costs_;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_COST_TABLE_COST_MODEL_H_

@@ -1,0 +1,23 @@
+// The even-split baseline costing (Section 6.1.1): the cost of every view
+// in the global plan is divided evenly among the sharings whose plans use
+// it — the fairness notion of prior work [17, 36], where all users of a
+// shared structure pay the same for it. Recovers cost(GP) by construction
+// but violates the paper's criteria (1)–(4) in general.
+
+#ifndef DSM_COSTING_EVEN_SPLIT_H_
+#define DSM_COSTING_EVEN_SPLIT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "globalplan/global_plan.h"
+
+namespace dsm {
+
+// Attributed costs parallel to `ids` (which must all exist in the plan).
+Result<std::vector<double>> EvenSplitCosts(const GlobalPlan& global_plan,
+                                           const std::vector<SharingId>& ids);
+
+}  // namespace dsm
+
+#endif  // DSM_COSTING_EVEN_SPLIT_H_

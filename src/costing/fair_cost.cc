@@ -1,0 +1,136 @@
+#include "costing/fair_cost.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace dsm {
+namespace {
+
+// Cost upper bounds per sharing at fairness degree `alpha`.
+std::vector<double> ComputeBounds(const std::vector<FairCostEntry>& entries,
+                                  double alpha) {
+  const size_t n = entries.size();
+  std::vector<double> ub(n);
+  // Criteria (2) and (4); attributed costs cannot go negative.
+  for (size_t i = 0; i < n; ++i) {
+    ub[i] = std::max(
+        0.0, std::min(entries[i].lpc,
+                      entries[i].gpc - alpha * entries[i].saving_term));
+  }
+
+  // Criteria (1) and (3) interact (an identical twin may have a cheaper
+  // container), so both monotone caps are applied until a fixpoint:
+  //  (1) identical sharings share one bound — the tightest of the group
+  //      (their GPCs can differ when the provider used different plans);
+  //  (3) each sharing is capped by its containers' bounds, processed in
+  //      decreasing LPC order (containers have LPC no smaller).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return entries[a].lpc > entries[b].lpc;
+  });
+  std::vector<double> group_min;
+  for (size_t pass = 0; pass < n + 2; ++pass) {
+    bool changed = false;
+    group_min.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t g = entries[i].identity_group;
+      if (group_min.size() <= g) {
+        group_min.resize(g + 1, std::numeric_limits<double>::infinity());
+      }
+      group_min[g] = std::min(group_min[g], ub[i]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double v = group_min[entries[i].identity_group];
+      if (v < ub[i]) {
+        ub[i] = v;
+        changed = true;
+      }
+    }
+    for (const size_t i : order) {
+      for (const int j : entries[i].containers) {
+        const double v = ub[static_cast<size_t>(j)];
+        if (v < ub[i]) {
+          ub[i] = v;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return ub;
+}
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+}  // namespace
+
+Result<FairCostResult> FairCost::Compute(
+    const std::vector<FairCostEntry>& entries, double global_cost,
+    Options options) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("no sharings to cost");
+  }
+
+  // Lemma 5.2: satisfiable iff the bounds at α = 0 (which equal the LPCs
+  // when GPC >= LPC) can still recover the global plan cost.
+  std::vector<double> ub0 = ComputeBounds(entries, 0.0);
+  if (Sum(ub0) + options.tolerance < global_cost) {
+    if (!options.lpc_overrun_fallback) {
+      return Status::Infeasible(
+          "fairness criteria unsatisfiable: sum of LPCs below cost(GP) "
+          "(Lemma 5.2)");
+    }
+    // Uniform minimal violation of criterion (2): scale the α = 0 bounds
+    // up to recover cost(GP). Equalities and orderings survive.
+    FairCostResult fallback;
+    fallback.alpha = 0.0;
+    fallback.criteria_satisfied = false;
+    const double total = Sum(ub0);
+    const double scale = total > 0.0 ? global_cost / total : 0.0;
+    fallback.ac.resize(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      fallback.ac[i] = ub0[i] * scale;
+    }
+    return fallback;
+  }
+
+  FairCostResult result;
+  std::vector<double> ub = ComputeBounds(entries, 1.0);
+  if (Sum(ub) + options.tolerance >= global_cost) {
+    // Maximum fairness achievable outright.
+    result.alpha = 1.0;
+  } else {
+    // Binary search the largest α whose bounds still cover cost(GP).
+    double lo = 0.0;  // SumBounds(lo) >= global_cost
+    double hi = 1.0;  // SumBounds(hi) <  global_cost
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (Sum(ComputeBounds(entries, mid)) >= global_cost) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    result.alpha = lo;
+    ub = ComputeBounds(entries, lo);
+  }
+
+  // Criterion (5): recover cost(GP) exactly. The bounds sum to at least
+  // cost(GP), so the scale factor is <= 1 and every criterion-(1)-(4)
+  // constraint (equalities and orderings included) survives the scaling.
+  const double total = Sum(ub);
+  const double scale = total > 0.0 ? global_cost / total : 0.0;
+  result.scaled_down = total > global_cost + options.tolerance &&
+                       result.alpha >= 1.0;
+  result.ac.resize(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    result.ac[i] = ub[i] * scale;
+  }
+  return result;
+}
+
+}  // namespace dsm

@@ -1,0 +1,26 @@
+#include "costing/lpc.h"
+
+#include <limits>
+
+namespace dsm {
+
+Result<double> LpcCalculator::Lpc(const Sharing& sharing) {
+  const uint64_t key = sharing.QueryHash() ^
+                       (0x9e3779b97f4a7c15ULL * (sharing.destination() + 1));
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  DSM_ASSIGN_OR_RETURN(const std::vector<SharingPlan> plans,
+                       enumerator_->Enumerate(sharing));
+  if (plans.empty()) {
+    return Status::InvalidArgument("sharing has no plans");
+  }
+  double lpc = std::numeric_limits<double>::infinity();
+  for (const SharingPlan& plan : plans) {
+    lpc = std::min(lpc, PlanCost(plan, model_));
+  }
+  cache_.emplace(key, lpc);
+  return lpc;
+}
+
+}  // namespace dsm

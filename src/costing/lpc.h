@@ -1,0 +1,34 @@
+// LPC(S): the lowest possible cost of a sharing — the cheapest standalone
+// plan, with no reuse of any other sharing's views (Section 5, criterion
+// (2)). "It represents the actual complexity of S."
+
+#ifndef DSM_COSTING_LPC_H_
+#define DSM_COSTING_LPC_H_
+
+#include <unordered_map>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/enumerator.h"
+#include "sharing/sharing.h"
+
+namespace dsm {
+
+class LpcCalculator {
+ public:
+  LpcCalculator(const PlanEnumerator* enumerator, CostModel* model)
+      : enumerator_(enumerator), model_(model) {}
+
+  // Minimum standalone plan cost for `sharing`. Memoized per query (and
+  // destination, since delivery is part of the plan).
+  Result<double> Lpc(const Sharing& sharing);
+
+ private:
+  const PlanEnumerator* enumerator_;
+  CostModel* model_;
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_COSTING_LPC_H_

@@ -1,0 +1,59 @@
+#include "costing/savings.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "costing/containment_dag.h"
+
+namespace dsm {
+
+Result<FairCostProblem> BuildFairCostProblem(const GlobalPlan& global_plan,
+                                             LpcCalculator* lpc) {
+  FairCostProblem problem;
+  problem.global_cost = global_plan.TotalCost();
+  problem.ids = global_plan.sharing_ids();
+
+  // saving(r) and num(r) per intermediate result.
+  struct SavingNum {
+    double saving = 0.0;
+    int num = 0;
+  };
+  std::unordered_map<ViewKey, SavingNum, ViewKeyHash> stats;
+  for (const GlobalPlan::ReuseStat& st : global_plan.ComputeReuseStats()) {
+    stats[st.key] = SavingNum{st.saving, st.num};
+  }
+
+  std::vector<double> lpcs;
+  for (const SharingId id : problem.ids) {
+    const GlobalPlan::SharingRecord* rec = global_plan.record(id);
+    problem.sharings.push_back(rec->sharing);
+
+    FairCostEntry entry;
+    entry.id = id;
+    entry.gpc = rec->gpc;
+    DSM_ASSIGN_OR_RETURN(entry.lpc, lpc->Lpc(rec->sharing));
+
+    // Σ_{r ∈ S's plan} saving(r)/num(r), over distinct intermediate
+    // results of the sharing's individual plan.
+    std::unordered_set<ViewKey, ViewKeyHash> seen;
+    for (const PlanNode& node : rec->plan.nodes) {
+      if (node.type == PlanNodeType::kLeaf) continue;
+      if (!seen.insert(node.key).second) continue;
+      const auto it = stats.find(node.key);
+      if (it == stats.end() || it->second.num == 0) continue;
+      entry.saving_term += it->second.saving / it->second.num;
+    }
+
+    lpcs.push_back(entry.lpc);
+    problem.entries.push_back(std::move(entry));
+  }
+
+  const ContainmentDag dag = BuildContainmentDag(problem.sharings, lpcs);
+  for (size_t i = 0; i < problem.entries.size(); ++i) {
+    problem.entries[i].identity_group = dag.identity_group[i];
+    problem.entries[i].containers = dag.containers[i];
+  }
+  return problem;
+}
+
+}  // namespace dsm

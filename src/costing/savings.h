@@ -1,0 +1,32 @@
+// Builds a FairCost problem (entries + global cost) from a live GlobalPlan:
+// LPCs via plan enumeration, GPCs and saving(r)/num(r) from the global
+// plan's per-sharing records, and the identity/containment partial order.
+
+#ifndef DSM_COSTING_SAVINGS_H_
+#define DSM_COSTING_SAVINGS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "costing/fair_cost.h"
+#include "costing/lpc.h"
+#include "globalplan/global_plan.h"
+
+namespace dsm {
+
+struct FairCostProblem {
+  std::vector<SharingId> ids;     // parallel to entries
+  std::vector<Sharing> sharings;  // parallel to entries
+  std::vector<FairCostEntry> entries;
+  double global_cost = 0.0;
+};
+
+// Speculative provider-owned views (ids >= SpeculativeViewAdvisor's base)
+// are included: they are sharings of the provider itself and their cost
+// must be recovered too.
+Result<FairCostProblem> BuildFairCostProblem(const GlobalPlan& global_plan,
+                                             LpcCalculator* lpc);
+
+}  // namespace dsm
+
+#endif  // DSM_COSTING_SAVINGS_H_

@@ -1,0 +1,77 @@
+#include "expr/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dsm {
+
+Histogram::Histogram(double min_value, double max_value, size_t buckets)
+    : min_value_(min_value), max_value_(max_value) {
+  assert(buckets >= 1);
+  assert(min_value < max_value);
+  counts_.assign(buckets, 0);
+}
+
+Histogram Histogram::FromValues(const std::vector<double>& values,
+                                size_t buckets) {
+  if (values.empty()) return Histogram();
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  const double min_value = *lo;
+  // Widen degenerate ranges so every value lands in a valid bucket.
+  const double max_value = *hi > *lo ? *hi : *lo + 1.0;
+  Histogram h(min_value, max_value, buckets);
+  for (const double v : values) h.Add(v);
+  return h;
+}
+
+double Histogram::BucketWidth() const {
+  return (max_value_ - min_value_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::BucketLow(size_t index) const {
+  return min_value_ + BucketWidth() * static_cast<double>(index);
+}
+
+void Histogram::Add(double value) {
+  if (counts_.empty()) return;
+  const double width = BucketWidth();
+  auto index = static_cast<int64_t>(std::floor((value - min_value_) / width));
+  index = std::clamp<int64_t>(index, 0,
+                              static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(index)];
+  ++total_count_;
+}
+
+double Histogram::Selectivity(CompareOp op, double value) const {
+  if (total_count_ == 0) return 1.0;
+  const double width = BucketWidth();
+  const double total = static_cast<double>(total_count_);
+
+  if (op == CompareOp::kEq) {
+    // All of the matching bucket's mass divided by the bucket's width in
+    // "distinct slots": approximate as count/total * (1/width), capped.
+    if (value < min_value_ || value >= max_value_) return 0.0;
+    const auto index = static_cast<size_t>((value - min_value_) / width);
+    const double bucket =
+        static_cast<double>(counts_[std::min(index, counts_.size() - 1)]);
+    return std::clamp(bucket / total / std::max(1.0, width), 0.0, 1.0);
+  }
+
+  // Range predicates: full buckets plus a linear fraction of the boundary
+  // bucket.
+  double below = 0.0;  // mass strictly below `value`
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double lo = BucketLow(i);
+    const double hi = lo + width;
+    if (hi <= value) {
+      below += static_cast<double>(counts_[i]);
+    } else if (lo < value) {
+      below += static_cast<double>(counts_[i]) * (value - lo) / width;
+    }
+  }
+  const double frac_below = below / total;
+  return op == CompareOp::kLt ? frac_below : 1.0 - frac_below;
+}
+
+}  // namespace dsm

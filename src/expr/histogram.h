@@ -1,0 +1,56 @@
+// Equi-width histograms for predicate selectivity estimation.
+//
+// The paper's general case leans on "various existing techniques for
+// selectivity estimation" to compute perc_s(P) (Section 4.5). The default
+// uniform-range estimate is adequate for uniformly distributed columns;
+// histograms capture skew (heavy hitters, empty ranges) the way production
+// optimizers do. A histogram can be attached to any ColumnDef; the
+// StatsEstimator consults it before falling back to the uniform model.
+
+#ifndef DSM_EXPR_HISTOGRAM_H_
+#define DSM_EXPR_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/predicate.h"
+
+namespace dsm {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  // An equi-width histogram over [min_value, max_value) with `buckets`
+  // buckets. Requires buckets >= 1 and min_value < max_value.
+  Histogram(double min_value, double max_value, size_t buckets);
+
+  // Builds a histogram from observed values.
+  static Histogram FromValues(const std::vector<double>& values,
+                              size_t buckets);
+
+  bool empty() const { return total_count_ == 0; }
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t total_count() const { return total_count_; }
+
+  // Records one observed value (values outside the range clamp to the
+  // first/last bucket).
+  void Add(double value);
+
+  // Estimated fraction of values satisfying `op value`, in [0, 1].
+  // Assumes uniform spread within each bucket (the textbook model).
+  double Selectivity(CompareOp op, double value) const;
+
+ private:
+  double BucketLow(size_t index) const;
+  double BucketWidth() const;
+
+  double min_value_ = 0.0;
+  double max_value_ = 1.0;
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_EXPR_HISTOGRAM_H_

@@ -1,0 +1,63 @@
+#include "expr/predicate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+namespace dsm {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+std::string Predicate::ToString(const Catalog& catalog) const {
+  const TableDef& t = catalog.table(table);
+  const std::string col = column < t.columns.size()
+                              ? t.columns[column].name
+                              : "col" + std::to_string(column);
+  char val[32];
+  std::snprintf(val, sizeof(val), "%g", value);
+  return t.name + "." + col + " " + CompareOpToString(op) + " " + val;
+}
+
+bool operator<(const Predicate& a, const Predicate& b) {
+  return std::tie(a.table, a.column, a.op, a.value) <
+         std::tie(b.table, b.column, b.op, b.value);
+}
+
+void NormalizePredicates(std::vector<Predicate>* preds) {
+  std::sort(preds->begin(), preds->end());
+  preds->erase(std::unique(preds->begin(), preds->end()), preds->end());
+}
+
+std::vector<Predicate> PredicatesOnTables(
+    const std::vector<Predicate>& preds, TableSet tables) {
+  std::vector<Predicate> out;
+  for (const Predicate& p : preds) {
+    if (tables.Contains(p.table)) out.push_back(p);
+  }
+  return out;
+}
+
+bool PredicateSubset(const std::vector<Predicate>& a,
+                     const std::vector<Predicate>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::vector<Predicate> PredicateDifference(
+    const std::vector<Predicate>& a, const std::vector<Predicate>& b) {
+  std::vector<Predicate> out;
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace dsm

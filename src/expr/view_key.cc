@@ -1,0 +1,45 @@
+#include "expr/view_key.h"
+
+#include "common/string_util.h"
+
+namespace dsm {
+
+ViewKey::ViewKey(TableSet t, std::vector<Predicate> preds)
+    : tables(t), predicates(std::move(preds)) {
+  NormalizePredicates(&predicates);
+}
+
+bool ViewKey::Subsumes(const ViewKey& needed) const {
+  if (!(tables == needed.tables)) return false;
+  return PredicateSubset(predicates, needed.predicates);
+}
+
+std::string ViewKey::ToString(const Catalog& catalog) const {
+  std::vector<std::string> names;
+  for (TableId t : tables.ToVector()) names.push_back(catalog.table(t).name);
+  std::string out = "{" + Join(names, ",") + "}";
+  if (!predicates.empty()) {
+    std::vector<std::string> ps;
+    for (const Predicate& p : predicates) ps.push_back(p.ToString(catalog));
+    out += " | " + Join(ps, " AND ");
+  }
+  return out;
+}
+
+size_t ViewKeyHash::operator()(const ViewKey& k) const {
+  uint64_t h = k.tables.mask() * 0x9e3779b97f4a7c15ULL;
+  for (const Predicate& p : k.predicates) {
+    uint64_t v = (static_cast<uint64_t>(p.table) << 40) ^
+                 (static_cast<uint64_t>(p.column) << 24) ^
+                 (static_cast<uint64_t>(p.op) << 16);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(p.value));
+    __builtin_memcpy(&bits, &p.value, sizeof(bits));
+    v ^= bits;
+    // boost::hash_combine-style mixing.
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace dsm

@@ -1,0 +1,52 @@
+// ViewKey: canonical identity of a subexpression result.
+//
+// Two plan nodes compute the same data — and can therefore share one
+// materialized view in the global plan — iff they have equal ViewKeys:
+// the same set of base tables natural-joined, filtered by the same
+// (normalized) predicate set. The key is independent of join order, so the
+// results of plans (ab)c and a(bc) both carry the key {a,b,c} as the paper
+// requires ("no sharing prior to S_i uses subexpression (ab)c or a(bc)").
+
+#ifndef DSM_EXPR_VIEW_KEY_H_
+#define DSM_EXPR_VIEW_KEY_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/table_set.h"
+#include "expr/predicate.h"
+
+namespace dsm {
+
+struct ViewKey {
+  TableSet tables;
+  // Normalized (sorted, deduped). Empty means the full join result.
+  std::vector<Predicate> predicates;
+
+  ViewKey() = default;
+  explicit ViewKey(TableSet t) : tables(t) {}
+  ViewKey(TableSet t, std::vector<Predicate> preds);
+
+  bool unpredicated() const { return predicates.empty(); }
+
+  // True if this view's data is a superset of what `needed` requires on the
+  // same table set, i.e. `needed` can be computed from this view by
+  // applying `needed`'s residual predicates.
+  bool Subsumes(const ViewKey& needed) const;
+
+  // Debug form like "{USERS,TWEETS} | USERS.followers > 10".
+  std::string ToString(const Catalog& catalog) const;
+
+  friend bool operator==(const ViewKey& a, const ViewKey& b) {
+    return a.tables == b.tables && a.predicates == b.predicates;
+  }
+};
+
+struct ViewKeyHash {
+  size_t operator()(const ViewKey& k) const;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_EXPR_VIEW_KEY_H_

@@ -1,0 +1,334 @@
+#include "globalplan/global_plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace dsm {
+
+int GlobalPlan::FindBestReuse(const ViewKey& needed, ServerId server,
+                              const AddOptions& options,
+                              double* residual_cost) const {
+  if (!options.allow_reuse) return -1;
+  if (options.forbid_reuse_keys != nullptr &&
+      options.forbid_reuse_keys->count(needed) != 0) {
+    return -1;
+  }
+  const auto it = by_tables_.find(needed.tables.mask());
+  if (it == by_tables_.end()) return -1;
+  int best = -1;
+  double best_cost = 0.0;
+  bool best_exact = false;
+  for (const int id : it->second) {
+    const GPNode& cand = nodes_[static_cast<size_t>(id)];
+    if (!cand.alive || !cand.key.Subsumes(needed)) continue;
+    const bool exact = cand.key == needed && cand.server == server;
+    const double cost =
+        exact ? 0.0
+              : model_->FilterCopyCost(cand.key, cand.server, needed,
+                                       server);
+    // Prefer cheaper sources; on ties prefer an exact match, which needs
+    // no residual filter/copy node at all.
+    if (best < 0 || cost < best_cost ||
+        (cost == best_cost && exact && !best_exact)) {
+      best = id;
+      best_cost = cost;
+      best_exact = exact;
+    }
+  }
+  if (best >= 0) *residual_cost = best_cost;
+  return best;
+}
+
+void GlobalPlan::Decide(const SharingPlan& plan, const AddOptions& options,
+                        PlanEvaluation* eval) const {
+  const size_t n = plan.nodes.size();
+  eval->decisions.assign(n, NodeDecision{});
+
+  std::vector<double> op_cost(n);
+  for (size_t i = 0; i < n; ++i) {
+    op_cost[i] = PlanNodeCost(plan, i, model_);
+  }
+
+  std::function<void(int)> mark_skipped = [&](int i) {
+    eval->decisions[static_cast<size_t>(i)].state = NodeDecision::kSkipped;
+    eval->decisions[static_cast<size_t>(i)].marginal_cost = 0.0;
+    const PlanNode& pn = plan.nodes[static_cast<size_t>(i)];
+    if (pn.left >= 0) mark_skipped(pn.left);
+    if (pn.right >= 0) mark_skipped(pn.right);
+  };
+
+  // Serving node i: either reuse an existing view (whole subtree skipped)
+  // or compute it fresh (pay the op; children decided recursively).
+  std::function<double(int)> decide = [&](int i) -> double {
+    const PlanNode& pn = plan.nodes[static_cast<size_t>(i)];
+    NodeDecision& d = eval->decisions[static_cast<size_t>(i)];
+
+    double fresh = op_cost[static_cast<size_t>(i)];
+    // Children must be decided before comparing; their decisions stand if
+    // we stay fresh and are overwritten to kSkipped if we reuse.
+    if (pn.left >= 0) fresh += decide(pn.left);
+    if (pn.right >= 0) fresh += decide(pn.right);
+
+    double residual = 0.0;
+    const int src = FindBestReuse(pn.key, pn.server, options, &residual);
+    if (src >= 0 && residual <= fresh) {
+      d.state = NodeDecision::kReused;
+      d.reuse_source = src;
+      const GPNode& s = nodes_[static_cast<size_t>(src)];
+      d.needs_residual = !(s.key == pn.key && s.server == pn.server);
+      d.marginal_cost = residual;
+      if (pn.left >= 0) mark_skipped(pn.left);
+      if (pn.right >= 0) mark_skipped(pn.right);
+      return residual;
+    }
+    d.state = NodeDecision::kFresh;
+    d.marginal_cost = op_cost[static_cast<size_t>(i)];
+    return fresh;
+  };
+
+  eval->marginal_cost = decide(plan.root_index());
+
+  // Capacity feasibility: added load per server.
+  std::unordered_map<ServerId, double> added;
+  for (size_t i = 0; i < n; ++i) {
+    const PlanNode& pn = plan.nodes[i];
+    const NodeDecision& d = eval->decisions[i];
+    double load = 0.0;
+    if (d.state == NodeDecision::kFresh) {
+      load = PlanNodeLoad(plan, i, model_);
+    } else if (d.state == NodeDecision::kReused && d.needs_residual) {
+      load = model_->DeltaRate(
+          nodes_[static_cast<size_t>(d.reuse_source)].key);
+    }
+    if (load > 0.0) added[pn.server] += load;
+  }
+  eval->feasible = true;
+  for (const auto& [server, load] : added) {
+    const double current =
+        server_load_.count(server) != 0 ? server_load_.at(server) : 0.0;
+    if (current + load >
+        cluster_->server(server).capacity_tuples_per_unit) {
+      eval->feasible = false;
+      break;
+    }
+  }
+}
+
+GlobalPlan::PlanEvaluation GlobalPlan::EvaluatePlan(
+    const SharingPlan& plan, const AddOptions& options) const {
+  PlanEvaluation eval;
+  Decide(plan, options, &eval);
+  return eval;
+}
+
+double GlobalPlan::NodeLoad(const GPNode& node) const {
+  switch (node.type) {
+    case PlanNodeType::kLeaf:
+      return node.key.predicates.empty()
+                 ? 0.0
+                 : model_->DeltaRate(ViewKey(TableSet::Of(node.base_table)));
+    case PlanNodeType::kJoin:
+      return model_->DeltaRate(nodes_[static_cast<size_t>(node.left)].key) +
+             model_->DeltaRate(nodes_[static_cast<size_t>(node.right)].key);
+    case PlanNodeType::kFilterCopy:
+      return model_->DeltaRate(nodes_[static_cast<size_t>(node.left)].key);
+  }
+  return 0.0;
+}
+
+int GlobalPlan::CreateNode(GPNode node) {
+  node.load = NodeLoad(node);
+  node.refcount = 0;
+  node.alive = true;
+  const int id = static_cast<int>(nodes_.size());
+  total_cost_ += node.cost;
+  server_load_[node.server] += node.load;
+  by_tables_[node.key.tables.mask()].push_back(id);
+  ++alive_count_;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void GlobalPlan::KillNode(int id) {
+  GPNode& node = nodes_[static_cast<size_t>(id)];
+  assert(node.alive && node.refcount == 0);
+  node.alive = false;
+  total_cost_ -= node.cost;
+  server_load_[node.server] -= node.load;
+  auto& bucket = by_tables_[node.key.tables.mask()];
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+  --alive_count_;
+}
+
+Result<GlobalPlan::PlanEvaluation> GlobalPlan::AddSharing(
+    SharingId id, const Sharing& sharing, const SharingPlan& plan,
+    const AddOptions& options) {
+  if (records_.count(id) != 0) {
+    return Status::AlreadyExists("sharing id already integrated");
+  }
+  if (plan.empty()) {
+    return Status::InvalidArgument("empty plan");
+  }
+
+  PlanEvaluation eval;
+  Decide(plan, options, &eval);
+
+  const size_t n = plan.nodes.size();
+  SharingRecord rec;
+  rec.sharing = sharing;
+  rec.plan = plan;
+  rec.decisions = eval.decisions;
+  rec.plan_to_gp.assign(n, -1);
+  rec.standalone_cost.assign(n, 0.0);
+  rec.subtree_cost.assign(n, 0.0);
+  rec.marginal_cost = eval.marginal_cost;
+
+  for (size_t i = 0; i < n; ++i) {
+    const PlanNode& pn = plan.nodes[i];
+    rec.standalone_cost[i] = PlanNodeCost(plan, i, model_);
+    rec.subtree_cost[i] = rec.standalone_cost[i];
+    if (pn.left >= 0) {
+      rec.subtree_cost[i] += rec.subtree_cost[static_cast<size_t>(pn.left)];
+    }
+    if (pn.right >= 0) {
+      rec.subtree_cost[i] += rec.subtree_cost[static_cast<size_t>(pn.right)];
+    }
+
+    const NodeDecision& d = eval.decisions[i];
+    switch (d.state) {
+      case NodeDecision::kSkipped:
+        break;
+      case NodeDecision::kReused:
+        if (!d.needs_residual) {
+          rec.plan_to_gp[i] = d.reuse_source;
+        } else {
+          GPNode residual;
+          residual.type = PlanNodeType::kFilterCopy;
+          residual.key = pn.key;
+          residual.server = pn.server;
+          residual.left = d.reuse_source;
+          residual.cost = d.marginal_cost;
+          rec.plan_to_gp[i] = CreateNode(std::move(residual));
+          rec.residual_cost += d.marginal_cost;
+        }
+        break;
+      case NodeDecision::kFresh: {
+        GPNode fresh;
+        fresh.type = pn.type;
+        fresh.key = pn.key;
+        fresh.server = pn.server;
+        fresh.base_table = pn.base_table;
+        if (pn.left >= 0) {
+          fresh.left = rec.plan_to_gp[static_cast<size_t>(pn.left)];
+        }
+        if (pn.right >= 0) {
+          fresh.right = rec.plan_to_gp[static_cast<size_t>(pn.right)];
+        }
+        fresh.cost = d.marginal_cost;
+        rec.plan_to_gp[i] = CreateNode(std::move(fresh));
+        break;
+      }
+    }
+  }
+
+  double standalone_total = 0.0;
+  for (const double c : rec.standalone_cost) standalone_total += c;
+  rec.gpc = standalone_total + rec.residual_cost;
+
+  // Closure: every GP node this sharing depends on, transitively.
+  std::unordered_set<int> closure;
+  std::function<void(int)> reach = [&](int gp) {
+    if (gp < 0 || !closure.insert(gp).second) return;
+    const GPNode& g = nodes_[static_cast<size_t>(gp)];
+    reach(g.left);
+    reach(g.right);
+  };
+  for (const int gp : rec.plan_to_gp) reach(gp);
+
+  std::vector<int> closure_vec(closure.begin(), closure.end());
+  for (const int gp : closure_vec) {
+    ++nodes_[static_cast<size_t>(gp)].refcount;
+  }
+  closures_[id] = std::move(closure_vec);
+  records_[id] = std::move(rec);
+  return eval;
+}
+
+Status GlobalPlan::RemoveSharing(SharingId id) {
+  const auto it = closures_.find(id);
+  if (it == closures_.end()) {
+    return Status::NotFound("unknown sharing id");
+  }
+  for (const int gp : it->second) {
+    GPNode& node = nodes_[static_cast<size_t>(gp)];
+    if (--node.refcount == 0 && node.alive) {
+      KillNode(gp);
+    }
+  }
+  closures_.erase(it);
+  records_.erase(id);
+  return Status::OK();
+}
+
+double GlobalPlan::ServerLoad(ServerId server) const {
+  const auto it = server_load_.find(server);
+  return it == server_load_.end() ? 0.0 : it->second;
+}
+
+bool GlobalPlan::HasUnpredicatedView(TableSet tables) const {
+  const auto it = by_tables_.find(tables.mask());
+  if (it == by_tables_.end()) return false;
+  for (const int id : it->second) {
+    const GPNode& node = nodes_[static_cast<size_t>(id)];
+    if (node.alive && node.key.predicates.empty()) return true;
+  }
+  return false;
+}
+
+std::vector<SharingId> GlobalPlan::sharing_ids() const {
+  std::vector<SharingId> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(id);
+  return out;
+}
+
+const GlobalPlan::SharingRecord* GlobalPlan::record(SharingId id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+double GlobalPlan::GPC(SharingId id) const {
+  const SharingRecord* rec = record(id);
+  return rec == nullptr ? 0.0 : rec->gpc;
+}
+
+const std::vector<int>* GlobalPlan::closure(SharingId id) const {
+  const auto it = closures_.find(id);
+  return it == closures_.end() ? nullptr : &it->second;
+}
+
+std::vector<GlobalPlan::ReuseStat> GlobalPlan::ComputeReuseStats() const {
+  std::unordered_map<ViewKey, ReuseStat, ViewKeyHash> stats;
+  for (const auto& [id, rec] : records_) {
+    std::unordered_set<ViewKey, ViewKeyHash> counted;
+    for (size_t i = 0; i < rec.plan.nodes.size(); ++i) {
+      const PlanNode& pn = rec.plan.nodes[i];
+      if (pn.type == PlanNodeType::kLeaf) continue;
+      if (!counted.insert(pn.key).second) continue;
+      ReuseStat& st = stats[pn.key];
+      st.key = pn.key;
+      ++st.num;
+      if (rec.decisions[i].state == NodeDecision::kReused) {
+        st.saving += std::max(
+            0.0, rec.subtree_cost[i] - rec.decisions[i].marginal_cost);
+      }
+    }
+  }
+  std::vector<ReuseStat> out;
+  out.reserve(stats.size());
+  for (auto& [key, st] : stats) out.push_back(std::move(st));
+  return out;
+}
+
+}  // namespace dsm

@@ -1,0 +1,179 @@
+// GlobalPlan: the DAG of continuously-maintained views serving all active
+// sharings (Section 3.2's "global plan").
+//
+// Integrating a sharing plan reuses existing views wherever an alive view's
+// key subsumes a plan node's key (same table set, predicate subset): the
+// node's whole subtree is then skipped and only a residual filter/copy is
+// charged. This realizes both the red/green reuse arrows of Figure 3 and
+// Example 1.1's "reuse the previous plan, and add a filter on top".
+//
+// The structure also keeps the bookkeeping fair costing needs: per-sharing
+// GPC, and saving(r)/num(r) for every intermediate result (Definition 5.1).
+
+#ifndef DSM_GLOBALPLAN_GLOBAL_PLAN_H_
+#define DSM_GLOBALPLAN_GLOBAL_PLAN_H_
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "sharing/sharing.h"
+
+namespace dsm {
+
+class GlobalPlan {
+ public:
+  struct NodeDecision {
+    enum State : uint8_t {
+      kFresh,    // node computed anew; its op cost is paid
+      kReused,   // node's data taken from an existing view
+      kSkipped,  // node lies under a reused ancestor; nothing computed
+    };
+    State state = kFresh;
+    int reuse_source = -1;         // GP node supplying the data (kReused)
+    bool needs_residual = false;   // kReused via a new filter/copy op
+    double marginal_cost = 0.0;    // $ this node adds to the global plan
+  };
+
+  struct PlanEvaluation {
+    double marginal_cost = 0.0;  // total additional $ (GREEDY's criterion)
+    bool feasible = true;        // all server capacities respected
+    std::vector<NodeDecision> decisions;  // parallel to plan.nodes
+  };
+
+  struct AddOptions {
+    bool allow_reuse = true;
+    // Keys whose reuse is forbidden (used to reconstruct published global
+    // plans, e.g. Figure 3's, where the provider made different choices).
+    const std::unordered_set<ViewKey, ViewKeyHash>* forbid_reuse_keys =
+        nullptr;
+  };
+
+  // Everything remembered about one integrated sharing.
+  struct SharingRecord {
+    Sharing sharing;
+    SharingPlan plan;  // the individual plan (Figure 3(a)'s view)
+    std::vector<NodeDecision> decisions;
+    std::vector<int> plan_to_gp;          // plan node -> GP node (-1 skipped)
+    std::vector<double> standalone_cost;  // per plan node, no reuse
+    std::vector<double> subtree_cost;     // per plan node, incl. descendants
+    double residual_cost = 0.0;  // extra filter/copy ops created on reuse
+    double marginal_cost = 0.0;  // $ the sharing added when integrated
+    double gpc = 0.0;            // GPC(S): Σ standalone + residual ops
+  };
+
+  struct ReuseStat {
+    ViewKey key;
+    double saving = 0.0;  // Definition 5.1
+    int num = 0;          // sharings whose plans include the result
+  };
+
+  GlobalPlan(const Cluster* cluster, CostModel* model)
+      : cluster_(cluster), model_(model) {}
+
+  GlobalPlan(const GlobalPlan&) = delete;
+  GlobalPlan& operator=(const GlobalPlan&) = delete;
+
+  // Dry run: what would integrating `plan` cost, and is it feasible?
+  PlanEvaluation EvaluatePlan(const SharingPlan& plan) const {
+    return EvaluatePlan(plan, AddOptions{});
+  }
+  PlanEvaluation EvaluatePlan(const SharingPlan& plan,
+                              const AddOptions& options) const;
+
+  // Integrates the plan (no feasibility enforcement here; planners check
+  // EvaluatePlan().feasible first, per Algorithm 2).
+  Result<PlanEvaluation> AddSharing(SharingId id, const Sharing& sharing,
+                                    const SharingPlan& plan) {
+    return AddSharing(id, sharing, plan, AddOptions{});
+  }
+  Result<PlanEvaluation> AddSharing(SharingId id, const Sharing& sharing,
+                                    const SharingPlan& plan,
+                                    const AddOptions& options);
+
+  // Removes a sharing; views no longer referenced by anyone are dropped.
+  Status RemoveSharing(SharingId id);
+
+  // Total $ per time unit of all alive views: cost(GP).
+  double TotalCost() const { return total_cost_; }
+
+  // Current maintenance load (tuples/time unit) on a server.
+  double ServerLoad(ServerId server) const;
+
+  // True if the full (unpredicated) join result over `tables` is
+  // materialized — "the result of s is produced in some P_j" (Def. 4.3).
+  bool HasUnpredicatedView(TableSet tables) const;
+
+  size_t num_sharings() const { return records_.size(); }
+  std::vector<SharingId> sharing_ids() const;
+  // nullptr if unknown.
+  const SharingRecord* record(SharingId id) const;
+
+  double GPC(SharingId id) const;
+
+  // saving(r) and num(r) for every intermediate result appearing in any
+  // sharing's plan.
+  std::vector<ReuseStat> ComputeReuseStats() const;
+
+  size_t num_alive_views() const { return alive_count_; }
+
+  // The GP nodes a sharing's delivery transitively depends on (the
+  // even-split baseline distributes each node's cost over the sharings
+  // whose closure includes it). nullptr if the sharing is unknown.
+  const std::vector<int>* closure(SharingId id) const;
+
+  double node_cost(int id) const {
+    return nodes_[static_cast<size_t>(id)].cost;
+  }
+
+ private:
+  struct GPNode {
+    ViewKey key;
+    ServerId server = 0;
+    PlanNodeType type = PlanNodeType::kLeaf;
+    int left = -1;
+    int right = -1;
+    TableId base_table = 0;
+    double cost = 0.0;
+    double load = 0.0;
+    int refcount = 0;
+    bool alive = true;
+  };
+
+  // Cheapest way to serve `needed` at `server` from an existing view.
+  // Returns the source GP node id or -1; fills `residual_cost`.
+  int FindBestReuse(const ViewKey& needed, ServerId server,
+                    const AddOptions& options, double* residual_cost) const;
+
+  // Fills `eval` for `plan`; shared by EvaluatePlan and AddSharing.
+  void Decide(const SharingPlan& plan, const AddOptions& options,
+              PlanEvaluation* eval) const;
+
+  double NodeLoad(const GPNode& node) const;
+
+  int CreateNode(GPNode node);
+  void KillNode(int id);
+
+  const Cluster* cluster_;
+  CostModel* model_;
+
+  std::vector<GPNode> nodes_;
+  // tables mask -> alive GP node ids over that table set (reuse index).
+  std::unordered_map<uint64_t, std::vector<int>> by_tables_;
+  std::map<SharingId, SharingRecord> records_;
+  std::map<SharingId, std::vector<int>> closures_;  // refcounted node sets
+
+  double total_cost_ = 0.0;
+  std::unordered_map<ServerId, double> server_load_;
+  size_t alive_count_ = 0;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_GLOBALPLAN_GLOBAL_PLAN_H_

@@ -1,0 +1,330 @@
+#include "io/market_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace dsm {
+namespace {
+
+constexpr const char* kHeader = "dsm-market v1";
+
+// Names/buyers are %-escaped so every record stays one whitespace-split
+// line.
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '%' || std::isspace(static_cast<unsigned char>(c))) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "%%%02x",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out.empty() ? "%" : out;  // lone '%' encodes the empty string
+}
+
+std::string Unescape(const std::string& s) {
+  if (s == "%") return "";
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const std::string hex = s.substr(i + 1, 2);
+      out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+const char* TypeTag(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "i64";
+    case DataType::kDouble:
+      return "f64";
+    case DataType::kString:
+      return "str";
+  }
+  return "i64";
+}
+
+Result<DataType> ParseType(const std::string& tag) {
+  if (tag == "i64") return DataType::kInt64;
+  if (tag == "f64") return DataType::kDouble;
+  if (tag == "str") return DataType::kString;
+  return Status::InvalidArgument("unknown column type: " + tag);
+}
+
+void WritePredicates(const std::vector<Predicate>& preds,
+                     std::ostream* out) {
+  for (const Predicate& p : preds) {
+    *out << "pred " << p.table << ' ' << p.column << ' '
+         << static_cast<int>(p.op) << ' ' << p.value << '\n';
+  }
+}
+
+Result<Predicate> ParsePredicate(std::istringstream* line) {
+  Predicate p;
+  int op = 0;
+  uint32_t column = 0;
+  if (!(*line >> p.table >> column >> op >> p.value)) {
+    return Status::InvalidArgument("malformed pred record");
+  }
+  if (op < 0 || op > 2) {
+    return Status::InvalidArgument("bad predicate op");
+  }
+  p.column = static_cast<uint16_t>(column);
+  p.op = static_cast<CompareOp>(op);
+  return p;
+}
+
+}  // namespace
+
+Status WriteMarketState(const Catalog& catalog, const Cluster& cluster,
+                        const GlobalPlan* global_plan, std::ostream* out) {
+  // 17 significant digits round-trip every finite double exactly.
+  out->precision(17);
+  *out << kHeader << '\n';
+
+  for (ServerId s = 0; s < cluster.num_servers(); ++s) {
+    const Server& server = cluster.server(s);
+    *out << "server " << Escape(server.name) << ' '
+         << server.capacity_tuples_per_unit << '\n';
+  }
+
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    const TableDef& def = catalog.table(t);
+    *out << "table " << Escape(def.name) << ' ' << def.stats.cardinality
+         << ' ' << def.stats.update_rate << ' ' << def.stats.tuple_bytes
+         << ' ' << def.columns.size() << '\n';
+    for (const ColumnDef& col : def.columns) {
+      *out << "col " << Escape(col.name) << ' ' << TypeTag(col.type) << ' '
+           << col.distinct_values << ' ' << col.min_value << ' '
+           << col.max_value << '\n';
+    }
+    const auto home = cluster.HomeOf(t);
+    if (home.ok()) {
+      *out << "place " << t << ' ' << *home << '\n';
+    }
+  }
+
+  if (global_plan != nullptr) {
+    for (const SharingId id : global_plan->sharing_ids()) {
+      const GlobalPlan::SharingRecord* rec = global_plan->record(id);
+      const Sharing& sharing = rec->sharing;
+      *out << "sharing " << id << ' ' << sharing.destination() << ' '
+           << Escape(sharing.buyer()) << ' ' << sharing.tables().mask()
+           << ' ' << sharing.predicates().size() << '\n';
+      WritePredicates(sharing.predicates(), out);
+      *out << "plan " << rec->plan.nodes.size() << '\n';
+      for (const PlanNode& n : rec->plan.nodes) {
+        *out << "node " << static_cast<int>(n.type) << ' ' << n.server
+             << ' ' << n.left << ' ' << n.right << ' ' << n.base_table
+             << ' ' << n.key.tables.mask() << ' ' << n.key.predicates.size()
+             << '\n';
+        WritePredicates(n.key.predicates, out);
+      }
+    }
+  }
+  return out->good() ? Status::OK() : Status::Internal("stream write failed");
+}
+
+Result<std::string> MarketStateToString(const Catalog& catalog,
+                                        const Cluster& cluster,
+                                        const GlobalPlan* global_plan) {
+  std::ostringstream out;
+  DSM_RETURN_IF_ERROR(WriteMarketState(catalog, cluster, global_plan, &out));
+  return out.str();
+}
+
+Result<MarketState> ReadMarketState(std::istream* in) {
+  MarketState state;
+  std::string line;
+  if (!std::getline(*in, line) || line != kHeader) {
+    return Status::InvalidArgument("missing dsm-market header");
+  }
+
+  TableDef pending_table;
+  size_t pending_columns = 0;
+  bool table_open = false;
+  auto flush_table = [&]() -> Status {
+    if (!table_open) return Status::OK();
+    if (pending_table.columns.size() != pending_columns) {
+      return Status::InvalidArgument("table column count mismatch");
+    }
+    DSM_RETURN_IF_ERROR(
+        state.catalog.AddTable(std::move(pending_table)).status());
+    pending_table = TableDef();
+    table_open = false;
+    return Status::OK();
+  };
+
+  // Sharing/plan parsing state.
+  SharingStateEntry* open_sharing = nullptr;
+  size_t sharing_preds_left = 0;
+  std::vector<Predicate> sharing_preds;
+  TableSet sharing_tables;
+  size_t plan_nodes_left = 0;
+  size_t node_preds_left = 0;
+
+  auto finalize_sharing_header = [&]() {
+    if (open_sharing != nullptr && sharing_preds_left == 0 &&
+        open_sharing->sharing.tables().empty()) {
+      const Sharing rebuilt(sharing_tables, sharing_preds,
+                            open_sharing->sharing.destination(),
+                            open_sharing->sharing.buyer());
+      open_sharing->sharing = rebuilt;
+    }
+  };
+
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+
+    if (kind == "server") {
+      DSM_RETURN_IF_ERROR(flush_table());
+      std::string name;
+      std::string capacity_text;
+      if (!(fields >> name >> capacity_text)) {
+        return Status::InvalidArgument("malformed server record");
+      }
+      // strtod (unlike istream extraction) accepts "inf" — the common
+      // case of an uncapped server.
+      char* end = nullptr;
+      const double capacity = std::strtod(capacity_text.c_str(), &end);
+      if (end == capacity_text.c_str()) {
+        return Status::InvalidArgument("bad server capacity");
+      }
+      state.cluster.AddServer(Unescape(name), capacity);
+    } else if (kind == "table") {
+      DSM_RETURN_IF_ERROR(flush_table());
+      std::string name;
+      if (!(fields >> name >> pending_table.stats.cardinality >>
+            pending_table.stats.update_rate >>
+            pending_table.stats.tuple_bytes >> pending_columns)) {
+        return Status::InvalidArgument("malformed table record");
+      }
+      pending_table.name = Unescape(name);
+      table_open = true;
+    } else if (kind == "col") {
+      if (!table_open) {
+        return Status::InvalidArgument("col record outside table");
+      }
+      std::string name;
+      std::string type_tag;
+      ColumnDef col;
+      if (!(fields >> name >> type_tag >> col.distinct_values >>
+            col.min_value >> col.max_value)) {
+        return Status::InvalidArgument("malformed col record");
+      }
+      col.name = Unescape(name);
+      DSM_ASSIGN_OR_RETURN(col.type, ParseType(type_tag));
+      pending_table.columns.push_back(std::move(col));
+    } else if (kind == "place") {
+      DSM_RETURN_IF_ERROR(flush_table());
+      TableId table = 0;
+      ServerId server = 0;
+      if (!(fields >> table >> server)) {
+        return Status::InvalidArgument("malformed place record");
+      }
+      DSM_RETURN_IF_ERROR(state.cluster.PlaceTable(table, server));
+    } else if (kind == "sharing") {
+      DSM_RETURN_IF_ERROR(flush_table());
+      SharingStateEntry entry;
+      uint64_t mask = 0;
+      ServerId dest = 0;
+      std::string buyer;
+      if (!(fields >> entry.id >> dest >> buyer >> mask >>
+            sharing_preds_left)) {
+        return Status::InvalidArgument("malformed sharing record");
+      }
+      sharing_tables = TableSet(mask);
+      sharing_preds.clear();
+      entry.sharing = Sharing(TableSet(), {}, dest, Unescape(buyer));
+      state.sharings.push_back(std::move(entry));
+      open_sharing = &state.sharings.back();
+      plan_nodes_left = 0;
+      node_preds_left = 0;
+      finalize_sharing_header();
+    } else if (kind == "pred") {
+      DSM_ASSIGN_OR_RETURN(const Predicate p, ParsePredicate(&fields));
+      if (open_sharing == nullptr) {
+        return Status::InvalidArgument("pred record outside sharing");
+      }
+      if (sharing_preds_left > 0) {
+        sharing_preds.push_back(p);
+        --sharing_preds_left;
+        finalize_sharing_header();
+      } else if (node_preds_left > 0) {
+        open_sharing->plan.nodes.back().key.predicates.push_back(p);
+        --node_preds_left;
+        if (node_preds_left == 0) {
+          NormalizePredicates(
+              &open_sharing->plan.nodes.back().key.predicates);
+        }
+      } else {
+        return Status::InvalidArgument("unexpected pred record");
+      }
+    } else if (kind == "plan") {
+      if (open_sharing == nullptr || sharing_preds_left != 0) {
+        return Status::InvalidArgument("plan record outside sharing");
+      }
+      if (!(fields >> plan_nodes_left)) {
+        return Status::InvalidArgument("malformed plan record");
+      }
+    } else if (kind == "node") {
+      if (open_sharing == nullptr || plan_nodes_left == 0) {
+        return Status::InvalidArgument("unexpected node record");
+      }
+      int type = 0;
+      uint64_t mask = 0;
+      PlanNode node;
+      if (!(fields >> type >> node.server >> node.left >> node.right >>
+            node.base_table >> mask >> node_preds_left)) {
+        return Status::InvalidArgument("malformed node record");
+      }
+      if (type < 0 || type > 2) {
+        return Status::InvalidArgument("bad node type");
+      }
+      node.type = static_cast<PlanNodeType>(type);
+      node.key.tables = TableSet(mask);
+      open_sharing->plan.nodes.push_back(std::move(node));
+      --plan_nodes_left;
+    } else {
+      return Status::InvalidArgument("unknown record kind: " + kind);
+    }
+  }
+  DSM_RETURN_IF_ERROR(flush_table());
+  if (sharing_preds_left != 0 || plan_nodes_left != 0 ||
+      node_preds_left != 0) {
+    return Status::InvalidArgument("truncated market state");
+  }
+  return state;
+}
+
+Result<MarketState> MarketStateFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadMarketState(&in);
+}
+
+Status RestoreGlobalPlan(const MarketState& state, GlobalPlan* global_plan) {
+  if (global_plan->num_sharings() != 0) {
+    return Status::InvalidArgument("global plan must be empty");
+  }
+  for (const SharingStateEntry& entry : state.sharings) {
+    DSM_RETURN_IF_ERROR(
+        global_plan->AddSharing(entry.id, entry.sharing, entry.plan)
+            .status());
+  }
+  return Status::OK();
+}
+
+}  // namespace dsm

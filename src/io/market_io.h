@@ -1,0 +1,65 @@
+// Persistence for market state.
+//
+// A service provider must survive restarts without re-planning (and thus
+// possibly re-pricing) every active sharing. This module serializes the
+// market definition — servers, placed tables with statistics, and every
+// integrated sharing together with the exact plan chosen for it — to a
+// line-oriented text format, and restores it into a fresh GlobalPlan by
+// replaying the stored plans in the original arrival order (integration
+// is deterministic, so the restored DAG matches the saved one).
+//
+// Histograms are not serialized (they are advisory statistics); the
+// format is versioned for forward evolution.
+
+#ifndef DSM_IO_MARKET_IO_H_
+#define DSM_IO_MARKET_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "globalplan/global_plan.h"
+#include "plan/plan.h"
+#include "sharing/sharing.h"
+
+namespace dsm {
+
+// One integrated sharing with its chosen plan, in arrival order.
+struct SharingStateEntry {
+  SharingId id = 0;
+  Sharing sharing;
+  SharingPlan plan;
+};
+
+struct MarketState {
+  Catalog catalog;
+  Cluster cluster;
+  std::vector<SharingStateEntry> sharings;
+};
+
+// --- Writing ---------------------------------------------------------------
+
+// Serializes catalog + cluster (+ sharings with plans, when a GlobalPlan
+// is given) to `out`.
+Status WriteMarketState(const Catalog& catalog, const Cluster& cluster,
+                        const GlobalPlan* global_plan, std::ostream* out);
+
+Result<std::string> MarketStateToString(const Catalog& catalog,
+                                        const Cluster& cluster,
+                                        const GlobalPlan* global_plan);
+
+// --- Reading ---------------------------------------------------------------
+
+Result<MarketState> ReadMarketState(std::istream* in);
+Result<MarketState> MarketStateFromString(const std::string& text);
+
+// Replays `state.sharings` into `global_plan` (which must be empty and
+// built over the same cluster/cost model semantics).
+Status RestoreGlobalPlan(const MarketState& state, GlobalPlan* global_plan);
+
+}  // namespace dsm
+
+#endif  // DSM_IO_MARKET_IO_H_

@@ -1,0 +1,123 @@
+#include "maintain/delta_engine.h"
+
+namespace dsm {
+namespace {
+
+std::vector<std::string> TableColumnNames(const Catalog& catalog,
+                                          TableId table) {
+  std::vector<std::string> names;
+  for (const ColumnDef& col : catalog.table(table).columns) {
+    names.push_back(col.name);
+  }
+  return names;
+}
+
+}  // namespace
+
+Status DeltaEngine::RegisterBase(TableId table) {
+  if (table >= catalog_->num_tables()) {
+    return Status::InvalidArgument("unknown table id");
+  }
+  if (bases_.count(table) != 0) {
+    return Status::AlreadyExists("base table already registered");
+  }
+  bases_.emplace(table, Relation(TableColumnNames(*catalog_, table)));
+  return Status::OK();
+}
+
+Relation DeltaEngine::ApplyTablePredicates(const ViewKey& key, TableId table,
+                                           Relation rel) const {
+  for (const Predicate& pred : key.predicates) {
+    if (pred.table != table) continue;
+    const TableDef& def = catalog_->table(table);
+    if (pred.column >= def.columns.size()) continue;
+    rel = rel.Filter(def.columns[pred.column].name, pred.op, pred.value);
+  }
+  return rel;
+}
+
+Result<Relation> DeltaEngine::Recompute(const ViewKey& key) const {
+  Relation acc;
+  bool first = true;
+  for (const TableId t : key.tables.ToVector()) {
+    const auto it = bases_.find(t);
+    if (it == bases_.end()) {
+      return Status::NotFound("view references an unregistered base table");
+    }
+    Relation filtered = ApplyTablePredicates(key, t, it->second);
+    if (first) {
+      acc = std::move(filtered);
+      first = false;
+    } else {
+      acc = NaturalJoin(acc, filtered, nullptr);
+    }
+  }
+  return acc;
+}
+
+Result<Relation> DeltaEngine::Recompute(
+    const ViewKey& key, const std::vector<std::string>& projection) const {
+  DSM_ASSIGN_OR_RETURN(Relation full, Recompute(key));
+  if (projection.empty()) return full;
+  return full.Project(projection);
+}
+
+Result<ViewId> DeltaEngine::RegisterView(const ViewKey& key,
+                                         std::vector<std::string> projection) {
+  DSM_ASSIGN_OR_RETURN(Relation initial, Recompute(key, projection));
+  views_.push_back(View{key, std::move(projection), std::move(initial)});
+  return views_.size() - 1;
+}
+
+Status DeltaEngine::ApplyUpdate(TableId table,
+                                const std::vector<Tuple>& inserts,
+                                const std::vector<Tuple>& deletes) {
+  const auto base_it = bases_.find(table);
+  if (base_it == bases_.end()) {
+    return Status::NotFound("base table not registered");
+  }
+
+  // The signed delta relation ΔT.
+  Relation delta(base_it->second.columns());
+  for (const Tuple& t : inserts) delta.Apply(t, +1);
+  for (const Tuple& t : deletes) delta.Apply(t, -1);
+
+  // Propagate to every view over `table`: ΔV = σ(ΔT) ⋈ σ(T_other) ...,
+  // using the *current* (pre-update) state of the other base tables.
+  for (View& view : views_) {
+    if (!view.key.tables.Contains(table)) continue;
+    Relation cur = ApplyTablePredicates(view.key, table, delta);
+    for (const TableId other : view.key.tables.ToVector()) {
+      if (other == table) continue;
+      const Relation filtered =
+          ApplyTablePredicates(view.key, other, bases_.at(other));
+      cur = NaturalJoin(cur, filtered, &work_);
+    }
+    // Project to the view's output columns (bag semantics keep projected
+    // deltas exact), then permute into the view's canonical column order.
+    if (!view.projection.empty()) {
+      cur = cur.Project(view.projection);
+    }
+    cur = cur.WithColumnOrder(view.contents.columns());
+    for (const auto& [tuple, count] : cur.rows()) {
+      view.contents.Apply(tuple, count);
+    }
+  }
+
+  // Merge the delta into the base relation.
+  for (const auto& [tuple, count] : delta.rows()) {
+    base_it->second.Apply(tuple, count);
+  }
+  return Status::OK();
+}
+
+const Relation* DeltaEngine::base(TableId table) const {
+  const auto it = bases_.find(table);
+  return it == bases_.end() ? nullptr : &it->second;
+}
+
+const Relation* DeltaEngine::view(ViewId id) const {
+  return id < views_.size() ? &views_[id].contents : nullptr;
+}
+
+}  // namespace dsm

@@ -1,0 +1,147 @@
+#include "maintain/relation.h"
+
+#include <algorithm>
+
+namespace dsm {
+
+int Relation::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Relation::Apply(const Tuple& tuple, int64_t delta) {
+  if (delta == 0) return;
+  const auto it = rows_.find(tuple);
+  if (it == rows_.end()) {
+    rows_.emplace(tuple, delta);
+    return;
+  }
+  it->second += delta;
+  if (it->second == 0) rows_.erase(it);
+}
+
+int64_t Relation::Count(const Tuple& tuple) const {
+  const auto it = rows_.find(tuple);
+  return it == rows_.end() ? 0 : it->second;
+}
+
+int64_t Relation::TotalSize() const {
+  int64_t total = 0;
+  for (const auto& [tuple, count] : rows_) total += count;
+  return total;
+}
+
+bool Relation::BagEquals(const Relation& other) const {
+  if (rows_.size() != other.rows_.size()) return false;
+  for (const auto& [tuple, count] : rows_) {
+    if (other.Count(tuple) != count) return false;
+  }
+  return true;
+}
+
+Relation Relation::Filter(const std::string& column, CompareOp op,
+                          double constant) const {
+  const int idx = FindColumn(column);
+  if (idx < 0) return *this;
+  Relation out(columns_);
+  for (const auto& [tuple, count] : rows_) {
+    if (ValueSatisfies(tuple[static_cast<size_t>(idx)], op, constant)) {
+      out.Apply(tuple, count);
+    }
+  }
+  return out;
+}
+
+Relation Relation::WithColumnOrder(
+    const std::vector<std::string>& columns) const {
+  if (columns == columns_) return *this;
+  std::vector<int> source(columns.size(), -1);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    source[i] = FindColumn(columns[i]);
+    assert(source[i] >= 0 && "target schema is not a permutation");
+  }
+  Relation out(columns);
+  for (const auto& [tuple, count] : rows_) {
+    Tuple reordered;
+    reordered.reserve(columns.size());
+    for (const int idx : source) {
+      reordered.push_back(tuple[static_cast<size_t>(idx)]);
+    }
+    out.Apply(reordered, count);
+  }
+  return out;
+}
+
+Relation Relation::Project(const std::vector<std::string>& columns) const {
+  std::vector<int> source;
+  std::vector<std::string> kept;
+  for (const std::string& name : columns) {
+    const int idx = FindColumn(name);
+    if (idx < 0) continue;
+    source.push_back(idx);
+    kept.push_back(name);
+  }
+  Relation out(std::move(kept));
+  for (const auto& [tuple, count] : rows_) {
+    Tuple projected;
+    projected.reserve(source.size());
+    for (const int idx : source) {
+      projected.push_back(tuple[static_cast<size_t>(idx)]);
+    }
+    out.Apply(projected, count);
+  }
+  return out;
+}
+
+Relation NaturalJoin(const Relation& a, const Relation& b, uint64_t* work) {
+  // Output schema: a's columns then b's non-shared columns.
+  std::vector<int> shared_a;
+  std::vector<int> shared_b;
+  std::vector<int> b_extra;
+  for (size_t i = 0; i < b.columns().size(); ++i) {
+    const int in_a = a.FindColumn(b.columns()[i]);
+    if (in_a >= 0) {
+      shared_a.push_back(in_a);
+      shared_b.push_back(static_cast<int>(i));
+    } else {
+      b_extra.push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<std::string> out_columns = a.columns();
+  for (const int i : b_extra) {
+    out_columns.push_back(b.columns()[static_cast<size_t>(i)]);
+  }
+  Relation out(std::move(out_columns));
+
+  // Hash b on its shared-column projection.
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
+  std::unordered_map<const Tuple*, int64_t> b_count;
+  for (const auto& [tuple, count] : b.rows()) {
+    Tuple key;
+    key.reserve(shared_b.size());
+    for (const int i : shared_b) key.push_back(tuple[static_cast<size_t>(i)]);
+    index[std::move(key)].push_back(&tuple);
+    b_count[&tuple] = count;
+  }
+
+  for (const auto& [ta, ca] : a.rows()) {
+    Tuple key;
+    key.reserve(shared_a.size());
+    for (const int i : shared_a) key.push_back(ta[static_cast<size_t>(i)]);
+    const auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (const Tuple* tb : it->second) {
+      if (work != nullptr) ++*work;
+      Tuple joined = ta;
+      for (const int i : b_extra) {
+        joined.push_back((*tb)[static_cast<size_t>(i)]);
+      }
+      out.Apply(joined, ca * b_count[tb]);
+    }
+  }
+  return out;
+}
+
+}  // namespace dsm

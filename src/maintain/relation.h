@@ -1,0 +1,69 @@
+// Relation: a named-column bag of tuples with signed multiplicities — the
+// representation used by the incremental (counting-algorithm) view
+// maintenance engine. Negative counts occur only transiently inside delta
+// relations; materialized views and base tables stay non-negative.
+
+#ifndef DSM_MAINTAIN_RELATION_H_
+#define DSM_MAINTAIN_RELATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/predicate.h"
+#include "maintain/value.h"
+
+namespace dsm {
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<std::string> column_names)
+      : columns_(std::move(column_names)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  int FindColumn(const std::string& name) const;
+
+  // Adds `delta` to the tuple's multiplicity (entries at zero are erased).
+  void Apply(const Tuple& tuple, int64_t delta);
+
+  int64_t Count(const Tuple& tuple) const;
+  size_t DistinctSize() const { return rows_.size(); }
+  // Σ multiplicities (meaningful for non-negative relations).
+  int64_t TotalSize() const;
+
+  const std::unordered_map<Tuple, int64_t, TupleHash>& rows() const {
+    return rows_;
+  }
+
+  bool BagEquals(const Relation& other) const;
+
+  // Tuples satisfying `column op constant`; schema unchanged. Columns
+  // absent from the schema leave the relation unfiltered.
+  Relation Filter(const std::string& column, CompareOp op,
+                  double constant) const;
+
+  // The same bag with columns permuted into `columns` order (which must be
+  // a permutation of this relation's schema). Joins starting from
+  // different tables produce permuted schemas; reordering makes their
+  // results comparable and mergeable.
+  Relation WithColumnOrder(const std::vector<std::string>& columns) const;
+
+  // Bag projection onto `columns` (a subset of the schema, in any order):
+  // multiplicities of collapsing tuples add up. Unknown column names are
+  // dropped from the output schema.
+  Relation Project(const std::vector<std::string>& columns) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::unordered_map<Tuple, int64_t, TupleHash> rows_;
+};
+
+// Natural join on all shared column names; multiplicities multiply
+// (counting algorithm). `work` is incremented per probed pair, giving the
+// measured-cost counter the cost model's CPU term mirrors.
+Relation NaturalJoin(const Relation& a, const Relation& b, uint64_t* work);
+
+}  // namespace dsm
+
+#endif  // DSM_MAINTAIN_RELATION_H_

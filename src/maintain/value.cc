@@ -1,0 +1,59 @@
+#include "maintain/value.h"
+
+#include <cstdio>
+#include <functional>
+
+namespace dsm {
+
+std::string ValueToString(const Value& value) {
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    return std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", *d);
+    return buf;
+  }
+  return std::get<std::string>(value);
+}
+
+bool ValueSatisfies(const Value& value, CompareOp op, double constant) {
+  double v = 0.0;
+  if (const auto* i = std::get_if<int64_t>(&value)) {
+    v = static_cast<double>(*i);
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    v = *d;
+  } else {
+    return false;
+  }
+  switch (op) {
+    case CompareOp::kLt:
+      return v < constant;
+    case CompareOp::kGt:
+      return v > constant;
+    case CompareOp::kEq:
+      return v == constant;
+  }
+  return false;
+}
+
+size_t TupleHash::operator()(const Tuple& tuple) const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  for (const Value& value : tuple) {
+    if (const auto* i = std::get_if<int64_t>(&value)) {
+      mix(static_cast<uint64_t>(*i) * 3 + 1);
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      uint64_t bits;
+      __builtin_memcpy(&bits, d, sizeof(bits));
+      mix(bits * 3 + 2);
+    } else {
+      mix(std::hash<std::string>()(std::get<std::string>(value)) * 3);
+    }
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace dsm

@@ -1,0 +1,99 @@
+#include "market/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsm {
+
+namespace {
+
+Tuple RandomTupleCompressed(const Catalog& catalog, TableId table, Rng* rng,
+                            double compression) {
+  const TableDef& def = catalog.table(table);
+  Tuple tuple;
+  tuple.reserve(def.columns.size());
+  for (const ColumnDef& col : def.columns) {
+    const auto lo = static_cast<int64_t>(col.min_value);
+    const auto domain = std::max<int64_t>(
+        1, static_cast<int64_t>(col.distinct_values * compression));
+    tuple.emplace_back(rng->UniformInt(lo, lo + domain - 1));
+  }
+  return tuple;
+}
+
+}  // namespace
+
+Tuple RandomTupleForTable(const Catalog& catalog, TableId table, Rng* rng) {
+  return RandomTupleCompressed(catalog, table, rng, 1.0);
+}
+
+Status MarketSimulation::EnsureBase(TableId table) {
+  if (engine_.base(table) != nullptr) return Status::OK();
+  return engine_.RegisterBase(table);
+}
+
+Status MarketSimulation::AddBuyerView(SharingId id, const ViewKey& key) {
+  if (buyer_views_.count(id) != 0) {
+    return Status::AlreadyExists("buyer view already registered");
+  }
+  for (const TableId t : key.tables.ToVector()) {
+    DSM_RETURN_IF_ERROR(EnsureBase(t));
+  }
+  DSM_ASSIGN_OR_RETURN(const ViewId view, engine_.RegisterView(key));
+  buyer_views_[id] = view;
+  return Status::OK();
+}
+
+Status MarketSimulation::Run(int ticks, double scale,
+                             double delete_fraction) {
+  for (int tick = 0; tick < ticks; ++tick) {
+    // Per-table batch sizes derive from the catalog's update rates: the
+    // same statistics the planners' cost model consumed.
+    for (TableId t = 0; t < catalog_->num_tables(); ++t) {
+      if (engine_.base(t) == nullptr) continue;
+      const double rate = catalog_->table(t).stats.update_rate;
+      const int batch =
+          std::max(0, static_cast<int>(std::llround(rate * scale)));
+      if (batch == 0) continue;
+      std::vector<Tuple> inserts;
+      std::vector<Tuple> deletes;
+      std::vector<Tuple>& live = live_tuples_[t];
+      for (int i = 0; i < batch; ++i) {
+        if (!live.empty() && rng_.Bernoulli(delete_fraction)) {
+          const size_t idx = static_cast<size_t>(rng_.UniformInt(
+              0, static_cast<int64_t>(live.size()) - 1));
+          deletes.push_back(live[idx]);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        } else {
+          Tuple tuple = RandomTupleCompressed(*catalog_, t, &rng_,
+                                              domain_compression_);
+          live.push_back(tuple);
+          inserts.push_back(std::move(tuple));
+        }
+      }
+      updates_applied_ += inserts.size() + deletes.size();
+      DSM_RETURN_IF_ERROR(engine_.ApplyUpdate(t, inserts, deletes));
+    }
+    ++ticks_elapsed_;
+  }
+  return Status::OK();
+}
+
+Result<bool> MarketSimulation::VerifyViews() const {
+  for (const auto& [id, view] : buyer_views_) {
+    DSM_ASSIGN_OR_RETURN(const Relation expected,
+                         engine_.Recompute(engine_.view_key(view)));
+    if (!engine_.view(view)->BagEquals(expected)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t MarketSimulation::ViewSize(SharingId id) const {
+  const auto it = buyer_views_.find(id);
+  if (it == buyer_views_.end()) return -1;
+  return engine_.view(it->second)->TotalSize();
+}
+
+}  // namespace dsm

@@ -1,0 +1,48 @@
+// Algorithm EXHAUSTIVE (Section 6.1.1): the offline reference that knows
+// the whole sharing sequence in advance and searches the joint plan space
+// for the global plan with minimum total cost. Exponential — the paper
+// only runs it on sequences of 3–5 sharings, and so do we (branch-and-
+// bound plus per-sharing plan caps keep it tractable there).
+
+#ifndef DSM_ONLINE_EXHAUSTIVE_H_
+#define DSM_ONLINE_EXHAUSTIVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "online/planner.h"
+
+namespace dsm {
+
+struct ExhaustiveOptions {
+  // Cap on plans considered per sharing (cheapest-first). 0 = all.
+  size_t max_plans_per_sharing = 0;
+  // Abort the search after this much wall time; the best assignment found
+  // so far is returned with completed = false.
+  double time_limit_seconds = 120.0;
+};
+
+struct ExhaustiveResult {
+  double total_cost = 0.0;
+  std::vector<SharingPlan> plans;  // one per input sharing
+  bool completed = true;
+  uint64_t nodes_explored = 0;
+};
+
+class ExhaustivePlanner {
+ public:
+  // `context.global_plan` is ignored; the search uses its own scratch
+  // global plans built from the same cluster and cost model.
+  ExhaustivePlanner(PlannerContext context, ExhaustiveOptions options = {})
+      : ctx_(context), options_(options) {}
+
+  Result<ExhaustiveResult> Solve(const std::vector<Sharing>& sharings);
+
+ private:
+  PlannerContext ctx_;
+  ExhaustiveOptions options_;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_ONLINE_EXHAUSTIVE_H_

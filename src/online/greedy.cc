@@ -1,0 +1,11 @@
+#include "online/greedy.h"
+
+namespace dsm {
+
+double GreedyPlanner::Score(const Sharing& /*sharing*/,
+                            const SharingPlan& /*plan*/,
+                            const GlobalPlan::PlanEvaluation& eval) {
+  return -eval.marginal_cost;
+}
+
+}  // namespace dsm

@@ -1,0 +1,61 @@
+#include "online/managed_risk.h"
+
+namespace dsm {
+
+int ManagedRiskPlanner::EffectiveJoins(const Sharing& sharing) const {
+  // With divide_by_joins disabled (ablation), the divisor is forced to 1.
+  return options_.divide_by_joins ? sharing.NumJoins() : 2;
+}
+
+double ManagedRiskPlanner::RegretIncentive(
+    const Sharing& sharing, const SharingPlan& plan,
+    const GlobalPlan::PlanEvaluation& eval) const {
+  double incentive = 0.0;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    if (!node.is_join()) continue;
+    if (eval.decisions[i].state != GlobalPlan::NodeDecision::kFresh) {
+      continue;  // reused/skipped nodes produce nothing new
+    }
+    const double rg =
+        tracker_.Regret(node.key.tables, EffectiveJoins(sharing));
+    if (rg <= 0.0) continue;
+    const double perc = options_.use_perc ? ctx_.model->Perc(node.key) : 1.0;
+    incentive += rg * perc;
+  }
+  return incentive;
+}
+
+double ManagedRiskPlanner::Score(const Sharing& sharing,
+                                 const SharingPlan& plan,
+                                 const GlobalPlan::PlanEvaluation& eval) {
+  return RegretIncentive(sharing, plan, eval) - eval.marginal_cost;
+}
+
+void ManagedRiskPlanner::OnPlanChosen(
+    const Sharing& sharing, const SharingPlan& plan,
+    const GlobalPlan::PlanEvaluation& eval) {
+  const double consumed = options_.subtract_consumed_regret
+                              ? RegretIncentive(sharing, plan, eval)
+                              : 0.0;
+
+  std::vector<TableSet> produced_full;
+  std::vector<std::pair<TableSet, double>> produced_partial;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    if (!node.is_join()) continue;
+    if (eval.decisions[i].state != GlobalPlan::NodeDecision::kFresh) {
+      continue;
+    }
+    if (node.key.predicates.empty()) {
+      produced_full.push_back(node.key.tables);
+    } else {
+      produced_partial.emplace_back(node.key.tables,
+                                    ctx_.model->Perc(node.key));
+    }
+  }
+  tracker_.OnPlanChosen(sharing, eval.marginal_cost, consumed, produced_full,
+                        produced_partial);
+}
+
+}  // namespace dsm

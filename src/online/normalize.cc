@@ -1,0 +1,39 @@
+#include "online/normalize.h"
+
+#include <algorithm>
+
+namespace dsm {
+
+int NormalizePlanner::OccurrenceCount(TableSet tables) const {
+  const auto it = counts_.find(tables);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void NormalizePlanner::OnSharingArrived(const Sharing& sharing) {
+  for (const TableSet s :
+       ctx_.graph->ConnectedSubsets(sharing.tables(), /*min_size=*/2)) {
+    ++counts_[s];
+  }
+}
+
+double NormalizePlanner::Score(const Sharing& /*sharing*/,
+                               const SharingPlan& plan,
+                               const GlobalPlan::PlanEvaluation& eval) {
+  // Normalized plan cost: fresh join nodes are discounted by how many
+  // sharings (so far) contain their subexpression; residual/leaf costs are
+  // charged as-is.
+  double normalized = 0.0;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const GlobalPlan::NodeDecision& d = eval.decisions[i];
+    if (d.state == GlobalPlan::NodeDecision::kSkipped) continue;
+    double cost = d.marginal_cost;
+    if (d.state == GlobalPlan::NodeDecision::kFresh &&
+        plan.nodes[i].is_join()) {
+      cost /= std::max(1, OccurrenceCount(plan.nodes[i].key.tables));
+    }
+    normalized += cost;
+  }
+  return -normalized;
+}
+
+}  // namespace dsm

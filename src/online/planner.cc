@@ -1,0 +1,83 @@
+#include "online/planner.h"
+
+#include <algorithm>
+
+namespace dsm {
+
+uint64_t OnlinePlanner::IdenticalKey(const Sharing& sharing) const {
+  return sharing.QueryHash() ^
+         (0x9e3779b97f4a7c15ULL * (sharing.destination() + 1));
+}
+
+Result<PlanChoice> OnlinePlanner::ProcessSharing(const Sharing& sharing) {
+  OnSharingArrived(sharing);
+
+  const SharingId id = next_id_++;
+  const uint64_t ident = IdenticalKey(sharing);
+
+  // Fast path: an identical sharing (same query, same destination) was
+  // planned before; reuse its plan wholesale. Integration makes the
+  // marginal cost (near) zero since every view already exists.
+  const auto it = identical_plans_.find(ident);
+  if (it != identical_plans_.end()) {
+    const GlobalPlan::PlanEvaluation probe =
+        ctx_.global_plan->EvaluatePlan(it->second);
+    if (probe.feasible) {
+      DSM_ASSIGN_OR_RETURN(
+          const GlobalPlan::PlanEvaluation eval,
+          ctx_.global_plan->AddSharing(id, sharing, it->second));
+      OnPlanChosen(sharing, it->second, eval);
+      PlanChoice choice;
+      choice.id = id;
+      choice.plan = it->second;
+      choice.marginal_cost = eval.marginal_cost;
+      choice.reused_identical = true;
+      return choice;
+    }
+    // Capacity changed since; fall through to full planning.
+  }
+
+  DSM_ASSIGN_OR_RETURN(std::vector<SharingPlan> plans,
+                       ctx_.enumerator->Enumerate(sharing));
+  if (plans.empty()) {
+    return Status::InvalidArgument("no plan found for sharing");
+  }
+
+  struct Scored {
+    size_t index;
+    double score;
+    GlobalPlan::PlanEvaluation eval;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    GlobalPlan::PlanEvaluation eval =
+        ctx_.global_plan->EvaluatePlan(plans[i]);
+    const double s = Score(sharing, plans[i], eval);
+    scored.push_back(Scored{i, s, std::move(eval)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.score > b.score; });
+
+  // Algorithm 2: take plans in descending score order; use the first one
+  // that does not violate any server capacity, else reject the sharing.
+  for (const Scored& cand : scored) {
+    if (!cand.eval.feasible) continue;
+    DSM_ASSIGN_OR_RETURN(
+        const GlobalPlan::PlanEvaluation eval,
+        ctx_.global_plan->AddSharing(id, sharing, plans[cand.index]));
+    OnPlanChosen(sharing, plans[cand.index], eval);
+    identical_plans_[ident] = plans[cand.index];
+    PlanChoice choice;
+    choice.id = id;
+    choice.plan = plans[cand.index];
+    choice.marginal_cost = eval.marginal_cost;
+    choice.score = cand.score;
+    choice.plans_considered = plans.size();
+    return choice;
+  }
+  return Status::CapacityExceeded(
+      "no feasible plan: sharing rejected (server capacity)");
+}
+
+}  // namespace dsm

@@ -1,0 +1,92 @@
+// OnlinePlanner: the online sharing-plan selection loop (Definition 4.1).
+//
+// Each arriving sharing is planned without knowledge of future sharings:
+// the planner enumerates the sharing's possible plans, scores each after a
+// dry-run integration into the global plan, and commits the best-scoring
+// plan that violates no server capacity (Algorithm 2); if none is feasible
+// the sharing is rejected. Subclasses differ only in the scoring rule:
+// GREEDY, NORMALIZE and MANAGEDRISK from Section 4.
+
+#ifndef DSM_ONLINE_PLANNER_H_
+#define DSM_ONLINE_PLANNER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "globalplan/global_plan.h"
+#include "plan/enumerator.h"
+#include "plan/join_graph.h"
+#include "plan/plan.h"
+#include "sharing/sharing.h"
+
+namespace dsm {
+
+// Shared, externally owned infrastructure the planner operates on.
+struct PlannerContext {
+  const Catalog* catalog = nullptr;
+  const Cluster* cluster = nullptr;
+  const JoinGraph* graph = nullptr;
+  CostModel* model = nullptr;
+  GlobalPlan* global_plan = nullptr;
+  PlanEnumerator* enumerator = nullptr;
+};
+
+struct PlanChoice {
+  SharingId id = 0;
+  SharingPlan plan;
+  double marginal_cost = 0.0;  // $ the sharing added to the global plan
+  double score = 0.0;
+  size_t plans_considered = 0;
+  // True when an identical sharing had been planned before and its plan was
+  // reused wholesale without enumeration (Section 6.2.2's observation that
+  // repeated sharings "don't need to be processed").
+  bool reused_identical = false;
+};
+
+class OnlinePlanner {
+ public:
+  explicit OnlinePlanner(PlannerContext context) : ctx_(context) {}
+  virtual ~OnlinePlanner() = default;
+
+  OnlinePlanner(const OnlinePlanner&) = delete;
+  OnlinePlanner& operator=(const OnlinePlanner&) = delete;
+
+  virtual const char* name() const = 0;
+
+  // Plans and integrates the next sharing of the online sequence.
+  // Returns kCapacityExceeded if every plan violates some server capacity.
+  Result<PlanChoice> ProcessSharing(const Sharing& sharing);
+
+  const PlannerContext& context() const { return ctx_; }
+
+ protected:
+  // Higher is better. `eval` is the dry-run integration of `plan`.
+  virtual double Score(const Sharing& sharing, const SharingPlan& plan,
+                       const GlobalPlan::PlanEvaluation& eval) = 0;
+
+  // Called once per arriving sharing before planning (e.g. NORMALIZE's
+  // occurrence counts, which include the current sharing).
+  virtual void OnSharingArrived(const Sharing& /*sharing*/) {}
+
+  // Called after the chosen plan has been integrated.
+  virtual void OnPlanChosen(const Sharing& /*sharing*/,
+                            const SharingPlan& /*plan*/,
+                            const GlobalPlan::PlanEvaluation& /*eval*/) {}
+
+  PlannerContext ctx_;
+
+ private:
+  uint64_t IdenticalKey(const Sharing& sharing) const;
+
+  SharingId next_id_ = 1;
+  // Query (incl. destination) -> plan previously chosen for it.
+  std::unordered_map<uint64_t, SharingPlan> identical_plans_;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_ONLINE_PLANNER_H_

@@ -1,0 +1,59 @@
+#include "online/regret_tracker.h"
+
+#include <algorithm>
+
+namespace dsm {
+
+double RegretTracker::Pending(TableSet s) const {
+  if (produced_.count(s) != 0) return 0.0;
+  const auto it = pending_.find(s);
+  return it == pending_.end() ? 0.0 : it->second;
+}
+
+bool RegretTracker::Produced(TableSet s) const {
+  return produced_.count(s) != 0;
+}
+
+double RegretTracker::Regret(TableSet s, int num_joins) const {
+  const double divisor = std::max(1, num_joins - 1);
+  return Pending(s) / divisor;
+}
+
+void RegretTracker::OnPlanChosen(
+    const Sharing& sharing, double marginal_cost, double consumed_regret,
+    const std::vector<TableSet>& produced_full,
+    const std::vector<std::pair<TableSet, double>>& produced_partial) {
+  // The regrets already "spent" on this plan must not influence future
+  // choices again (the subtraction in Eq. 1); what remains is the residual
+  // this sharing contributes to the pending regret of the subexpressions
+  // it contains but did not produce.
+  const double residual = marginal_cost - consumed_regret;
+
+  for (const TableSet s : produced_full) {
+    produced_.insert(s);
+    pending_.erase(s);
+  }
+  for (const auto& [s, perc] : produced_partial) {
+    const auto it = pending_.find(s);
+    if (it != pending_.end()) {
+      it->second *= std::max(0.0, 1.0 - perc);
+    }
+  }
+
+  for (const TableSet s :
+       graph_->ConnectedSubsets(sharing.tables(), /*min_size=*/2)) {
+    if (produced_.count(s) != 0) continue;
+    pending_[s] += residual;
+  }
+}
+
+std::vector<std::pair<TableSet, double>> RegretTracker::PendingSets() const {
+  std::vector<std::pair<TableSet, double>> out;
+  out.reserve(pending_.size());
+  for (const auto& [s, v] : pending_) {
+    if (v > 0.0 && produced_.count(s) == 0) out.emplace_back(s, v);
+  }
+  return out;
+}
+
+}  // namespace dsm

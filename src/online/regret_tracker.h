@@ -1,0 +1,72 @@
+// RegretTracker: the bookkeeping behind Definition 4.3 (regret).
+//
+// For every subexpression s (identified by its base-table set) that has not
+// yet been produced, the tracker accumulates the *residuals* of the prior
+// sharings containing s:
+//
+//     resid_j = C[P_j] − Σ_{s' ∈ P_j} rg_j(s')          (Eq. 1's numerator)
+//     rg_i(s) = Σ_{j<i, s ◁ S_j, s unproduced} resid_j / (#join(S_i) − 1)
+//
+// Once some plan produces s's full result, rg(s) is zero forever. Plans in
+// the general case may materialize only a *predicated* fraction perc of s;
+// the tracker then scales the pending incentive by (1 − perc): the portion
+// of s that now exists no longer needs encouragement (Eq. 3's spirit).
+
+#ifndef DSM_ONLINE_REGRET_TRACKER_H_
+#define DSM_ONLINE_REGRET_TRACKER_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/table_set.h"
+#include "plan/join_graph.h"
+#include "sharing/sharing.h"
+
+namespace dsm {
+
+class RegretTracker {
+ public:
+  explicit RegretTracker(const JoinGraph* graph) : graph_(graph) {}
+
+  // Raw accumulated residual for table set `s` (the numerator of Eq. 1);
+  // zero if `s` was produced. Divide by max(1, #join(S_i) − 1) for rg_i(s).
+  double Pending(TableSet s) const;
+
+  bool Produced(TableSet s) const;
+
+  // rg_i(s) for a sharing with `num_joins` joins.
+  double Regret(TableSet s, int num_joins) const;
+
+  // Bookkeeping after sharing S's plan was chosen.
+  //   marginal_cost     — C[P] (the cost the plan added to the global plan)
+  //   consumed_regret   — Σ rg(s')·perc over the plan's fresh join nodes
+  //   produced_full     — table sets whose unpredicated result the plan
+  //                       materialized
+  //   produced_partial  — (table set, perc) pairs materialized with
+  //                       predicates
+  void OnPlanChosen(const Sharing& sharing, double marginal_cost,
+                    double consumed_regret,
+                    const std::vector<TableSet>& produced_full,
+                    const std::vector<std::pair<TableSet, double>>&
+                        produced_partial);
+
+  // Table sets with nonzero pending regret (used by the speculative-view
+  // advisor extension).
+  std::vector<std::pair<TableSet, double>> PendingSets() const;
+
+  // Marks `s` produced out-of-band (speculative materialization).
+  void MarkProduced(TableSet s) {
+    produced_.insert(s);
+    pending_.erase(s);
+  }
+
+ private:
+  const JoinGraph* graph_;
+  std::unordered_map<TableSet, double, TableSetHash> pending_;
+  std::unordered_set<TableSet, TableSetHash> produced_;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_ONLINE_REGRET_TRACKER_H_

@@ -1,0 +1,47 @@
+// Replanner: Section 7's first future-work item, implemented — "whether it
+// is feasible to change the plan of an existing sharing when a new sharing
+// arrives". After the online planner commits a sharing, the replanner
+// revisits existing sharings one at a time: it removes a sharing from the
+// global plan, re-evaluates its candidate plans against the current state,
+// and keeps the cheapest; the original plan is restored when nothing
+// improves. Buyers are unaffected — only the provider's internal plan
+// changes (their attributed costs may drop, never their data).
+
+#ifndef DSM_ONLINE_REPLANNER_H_
+#define DSM_ONLINE_REPLANNER_H_
+
+#include "common/status.h"
+#include "online/planner.h"
+
+namespace dsm {
+
+struct ReplannerOptions {
+  // Maximum improvement sweeps over all sharings per Improve() call.
+  int max_rounds = 2;
+  // Stop a sweep early once relative improvement falls below this.
+  double min_relative_gain = 1e-6;
+};
+
+struct ReplanReport {
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+  int plans_changed = 0;
+  int rounds = 0;
+};
+
+class Replanner {
+ public:
+  Replanner(PlannerContext context, ReplannerOptions options = {})
+      : ctx_(context), options_(options) {}
+
+  // Greedily improves the global plan by re-planning existing sharings.
+  Result<ReplanReport> Improve();
+
+ private:
+  PlannerContext ctx_;
+  ReplannerOptions options_;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_ONLINE_REPLANNER_H_

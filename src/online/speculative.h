@@ -1,0 +1,55 @@
+// SpeculativeViewAdvisor: Section 7's second future-work item, implemented
+// — "whether it is beneficial to create and maintain views that do not
+// belong to any existing sharing plan (so that future sharings may reuse
+// them)". The advisor watches the regret tracker: a subexpression whose
+// pending regret exceeds `regret_multiple` times the cost of materializing
+// it is a strong recurring demand signal, so the view is built proactively
+// as a provider-owned pseudo-sharing.
+
+#ifndef DSM_ONLINE_SPECULATIVE_H_
+#define DSM_ONLINE_SPECULATIVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "online/managed_risk.h"
+
+namespace dsm {
+
+struct SpeculativeOptions {
+  // Materialize a pending subexpression once pending regret exceeds this
+  // multiple of its cheapest materialization cost.
+  double regret_multiple = 2.0;
+  // Upper bound on speculative views alive at once.
+  size_t max_views = 16;
+};
+
+struct SpeculationReport {
+  int views_created = 0;
+  double cost_added = 0.0;
+};
+
+// Wraps a ManagedRiskPlanner; call MaybeSpeculate() after each processed
+// sharing. Speculative views are integrated as pseudo-sharings with ids
+// starting at kSpeculativeIdBase so they never collide with buyer ids.
+class SpeculativeViewAdvisor {
+ public:
+  static constexpr SharingId kSpeculativeIdBase = 1ULL << 62;
+
+  SpeculativeViewAdvisor(ManagedRiskPlanner* planner,
+                         SpeculativeOptions options = {})
+      : planner_(planner), options_(options) {}
+
+  Result<SpeculationReport> MaybeSpeculate();
+
+  size_t num_views() const { return views_created_; }
+
+ private:
+  ManagedRiskPlanner* planner_;
+  SpeculativeOptions options_;
+  size_t views_created_ = 0;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_ONLINE_SPECULATIVE_H_

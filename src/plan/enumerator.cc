@@ -1,0 +1,200 @@
+#include "plan/enumerator.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dsm {
+namespace {
+
+// A partial plan over one connected subset of the sharing's tables.
+struct Fragment {
+  SharingPlan plan;  // root is plan.nodes.back()
+  double cost = 0.0;  // standalone cost, used only for beam pruning
+};
+
+// Appends `src`'s nodes to `dst`, remapping child indices; returns the
+// index of `src`'s root within `dst`.
+int AppendFragment(const SharingPlan& src, SharingPlan* dst) {
+  const int offset = static_cast<int>(dst->nodes.size());
+  for (const PlanNode& n : src.nodes) {
+    PlanNode copy = n;
+    if (copy.left >= 0) copy.left += offset;
+    if (copy.right >= 0) copy.right += offset;
+    dst->nodes.push_back(copy);
+  }
+  return static_cast<int>(dst->nodes.size()) - 1;
+}
+
+}  // namespace
+
+PlanEnumerator::PlanEnumerator(const Catalog* catalog, const Cluster* cluster,
+                               const JoinGraph* graph, CostModel* model,
+                               EnumeratorOptions options)
+    : catalog_(catalog),
+      cluster_(cluster),
+      graph_(graph),
+      model_(model),
+      options_(options) {}
+
+Result<std::vector<SharingPlan>> PlanEnumerator::Enumerate(
+    const Sharing& sharing) const {
+  const TableSet tables = sharing.tables();
+  if (tables.empty()) {
+    return Status::InvalidArgument("sharing has no tables");
+  }
+  if (!graph_->Connected(tables)) {
+    return Status::InvalidArgument(
+        "sharing's tables are not connected in the join graph "
+        "(cross products are not supported)");
+  }
+  const std::vector<Predicate>& all_preds = sharing.predicates();
+  if (options_.per_subset_cap > 0 && model_ == nullptr) {
+    return Status::InvalidArgument("beam pruning requires a cost model");
+  }
+
+  // Choices of which predicates are pushed down to the leaves; the rest are
+  // applied at the root. With many predicates the exhaustive 2^p blowup is
+  // avoided by considering only all-at-root and all-pushed-down.
+  std::vector<uint32_t> pushdown_choices;
+  if (!options_.predicate_placement || all_preds.empty()) {
+    pushdown_choices.push_back(options_.predicate_placement
+                                   ? (1u << all_preds.size()) - 1u
+                                   : 0u);
+  } else if (all_preds.size() <= 12) {
+    for (uint32_t d = 0; d < (1u << all_preds.size()); ++d) {
+      pushdown_choices.push_back(d);
+    }
+  } else {
+    pushdown_choices = {0u, (1u << 12) - 1u};
+  }
+
+  const ViewKey result_key = sharing.ResultKey();
+  std::vector<SharingPlan> out;
+  std::unordered_set<uint64_t> seen;
+
+  for (const uint32_t pushdown : pushdown_choices) {
+    std::vector<Predicate> pushed;
+    for (size_t i = 0; i < all_preds.size(); ++i) {
+      if ((pushdown >> i) & 1u) pushed.push_back(all_preds[i]);
+    }
+
+    // DP table: connected subset -> fragments.
+    std::unordered_map<uint64_t, std::vector<Fragment>> dp;
+
+    // Singletons.
+    for (TableId t : tables.ToVector()) {
+      DSM_ASSIGN_OR_RETURN(const ServerId home, cluster_->HomeOf(t));
+      Fragment frag;
+      PlanNode leaf;
+      leaf.type = PlanNodeType::kLeaf;
+      leaf.base_table = t;
+      leaf.server = home;
+      leaf.key = ViewKey(TableSet::Of(t),
+                         PredicatesOnTables(pushed, TableSet::Of(t)));
+      frag.plan.nodes.push_back(leaf);
+      if (model_ != nullptr) {
+        frag.cost = PlanNodeCost(frag.plan, 0, model_);
+      }
+      dp[TableSet::Of(t).mask()].push_back(std::move(frag));
+    }
+
+    // Connected subsets in increasing size.
+    std::vector<TableSet> subsets = graph_->ConnectedSubsets(tables, 2);
+    std::sort(subsets.begin(), subsets.end(),
+              [](TableSet a, TableSet b) { return a.size() < b.size(); });
+
+    for (const TableSet subset : subsets) {
+      std::vector<Fragment>& slot = dp[subset.mask()];
+      std::unordered_set<uint64_t> local_seen;
+      const uint64_t mask = subset.mask();
+      const uint64_t lowest = mask & (~mask + 1);
+      // Enumerate proper submasks that contain the lowest table, so each
+      // unordered split {C1, C2} is visited exactly once.
+      for (uint64_t sub = (mask - 1) & mask; sub != 0;
+           sub = (sub - 1) & mask) {
+        if ((sub & lowest) == 0) continue;
+        const uint64_t other = mask ^ sub;
+        const auto it1 = dp.find(sub);
+        const auto it2 = dp.find(other);
+        if (it1 == dp.end() || it2 == dp.end()) continue;  // not connected
+        if (!graph_->Joinable(TableSet(sub), TableSet(other))) continue;
+        const ViewKey node_key(subset, PredicatesOnTables(pushed, subset));
+        for (const Fragment& f1 : it1->second) {
+          for (const Fragment& f2 : it2->second) {
+            ServerId candidates[3];
+            size_t num_candidates = 0;
+            auto add_candidate = [&](ServerId s) {
+              for (size_t i = 0; i < num_candidates; ++i) {
+                if (candidates[i] == s) return;
+              }
+              candidates[num_candidates++] = s;
+            };
+            add_candidate(f1.plan.root().server);
+            add_candidate(f2.plan.root().server);
+            if (options_.consider_destination_server) {
+              add_candidate(sharing.destination());
+            }
+            for (size_t ci = 0; ci < num_candidates; ++ci) {
+              Fragment combined;
+              const int left_root = AppendFragment(f1.plan, &combined.plan);
+              const int right_root = AppendFragment(f2.plan, &combined.plan);
+              PlanNode join;
+              join.type = PlanNodeType::kJoin;
+              join.key = node_key;
+              join.server = candidates[ci];
+              join.left = left_root;
+              join.right = right_root;
+              combined.plan.nodes.push_back(join);
+              const uint64_t sig = combined.plan.Signature();
+              if (!local_seen.insert(sig).second) continue;
+              if (model_ != nullptr) {
+                combined.cost =
+                    f1.cost + f2.cost +
+                    PlanNodeCost(combined.plan, combined.plan.nodes.size() - 1,
+                                 model_);
+              }
+              slot.push_back(std::move(combined));
+            }
+          }
+        }
+      }
+      // Beam pruning: keep the cheapest fragments only.
+      if (options_.per_subset_cap > 0 &&
+          slot.size() > options_.per_subset_cap) {
+        std::nth_element(slot.begin(),
+                         slot.begin() + static_cast<std::ptrdiff_t>(
+                                            options_.per_subset_cap),
+                         slot.end(),
+                         [](const Fragment& a, const Fragment& b) {
+                           return a.cost < b.cost;
+                         });
+        slot.resize(options_.per_subset_cap);
+      }
+    }
+
+    // Finalize: deliver the full result (all predicates applied) at the
+    // destination server.
+    for (Fragment& frag : dp[tables.mask()]) {
+      SharingPlan plan = std::move(frag.plan);
+      const PlanNode& root = plan.nodes.back();
+      if (!(root.key == result_key) ||
+          root.server != sharing.destination()) {
+        PlanNode fin;
+        fin.type = PlanNodeType::kFilterCopy;
+        fin.key = result_key;
+        fin.server = sharing.destination();
+        fin.left = plan.root_index();
+        plan.nodes.push_back(fin);
+      }
+      const uint64_t sig = plan.Signature();
+      if (!seen.insert(sig).second) continue;
+      out.push_back(std::move(plan));
+      if (out.size() >= options_.max_plans) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace dsm

@@ -1,0 +1,64 @@
+// PlanEnumerator: generates the possible sharing plans for a sharing.
+//
+// "In most cases we can afford to enumerate all possible plans, since
+// choosing sharing plans is not an interactive or time-critical task"
+// (Section 4.1) — so the default mode enumerates every bushy join tree
+// over the sharing's (connected) tables, every interesting server placement
+// per join, and every leaf-vs-root placement of each predicate. For large
+// sharings a beam (`per_subset_cap`) bounds the space, matching the
+// paper's "heuristics can be applied to filter sharing plans" escape hatch.
+
+#ifndef DSM_PLAN_ENUMERATOR_H_
+#define DSM_PLAN_ENUMERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/join_graph.h"
+#include "plan/plan.h"
+#include "sharing/sharing.h"
+
+namespace dsm {
+
+struct EnumeratorOptions {
+  // Hard cap on the number of plans returned for one sharing.
+  size_t max_plans = 200000;
+  // If nonzero, keep only the cheapest `per_subset_cap` sub-plans per
+  // connected subset (beam search; requires a cost model).
+  size_t per_subset_cap = 0;
+  // Enumerate leaf-pushdown vs. root placement per predicate. When false,
+  // all predicates are applied at the root.
+  bool predicate_placement = true;
+  // Also consider materializing each join at the sharing's destination
+  // server (in addition to the children's servers).
+  bool consider_destination_server = true;
+};
+
+class PlanEnumerator {
+ public:
+  // `model` may be nullptr when per_subset_cap == 0 (no pruning needed).
+  PlanEnumerator(const Catalog* catalog, const Cluster* cluster,
+                 const JoinGraph* graph, CostModel* model,
+                 EnumeratorOptions options = {});
+
+  // All plans for `sharing` (deduplicated). Errors if the sharing's tables
+  // are not connected in the join graph or a table has no home server.
+  Result<std::vector<SharingPlan>> Enumerate(const Sharing& sharing) const;
+
+  const EnumeratorOptions& options() const { return options_; }
+
+ private:
+  const Catalog* catalog_;
+  const Cluster* cluster_;
+  const JoinGraph* graph_;
+  CostModel* model_;
+  EnumeratorOptions options_;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_PLAN_ENUMERATOR_H_

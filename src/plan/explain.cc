@@ -1,0 +1,116 @@
+#include "plan/explain.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace dsm {
+namespace {
+
+const char* NodeTypeName(PlanNodeType type) {
+  switch (type) {
+    case PlanNodeType::kLeaf:
+      return "Leaf";
+    case PlanNodeType::kJoin:
+      return "Join";
+    case PlanNodeType::kFilterCopy:
+      return "FilterCopy";
+  }
+  return "?";
+}
+
+void ExplainNode(const SharingPlan& plan, int index, const Catalog& catalog,
+                 CostModel* model, int depth, std::string* out) {
+  const PlanNode& n = plan.nodes[static_cast<size_t>(index)];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += NodeTypeName(n.type);
+  *out += ' ';
+  if (n.type == PlanNodeType::kLeaf) {
+    *out += catalog.table(n.base_table).name;
+    if (!n.key.predicates.empty()) {
+      std::vector<std::string> preds;
+      for (const Predicate& p : n.key.predicates) {
+        preds.push_back(p.ToString(catalog));
+      }
+      *out += " σ(" + Join(preds, " AND ") + ")";
+    }
+  } else {
+    *out += n.key.ToString(catalog);
+  }
+  *out += " @s" + std::to_string(n.server);
+  *out += "  $" +
+          FormatCost(PlanNodeCost(plan, static_cast<size_t>(index), model));
+  *out += '\n';
+  if (n.left >= 0) ExplainNode(plan, n.left, catalog, model, depth + 1, out);
+  if (n.right >= 0) {
+    ExplainNode(plan, n.right, catalog, model, depth + 1, out);
+  }
+}
+
+const char* DecisionName(GlobalPlan::NodeDecision::State state) {
+  switch (state) {
+    case GlobalPlan::NodeDecision::kFresh:
+      return "fresh";
+    case GlobalPlan::NodeDecision::kReused:
+      return "reused";
+    case GlobalPlan::NodeDecision::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExplainPlan(const SharingPlan& plan, const Catalog& catalog,
+                        CostModel* model) {
+  if (plan.empty()) return "<empty plan>\n";
+  std::string out;
+  ExplainNode(plan, plan.root_index(), catalog, model, 0, &out);
+  return out;
+}
+
+std::string ExplainSharing(const GlobalPlan& global_plan, SharingId id,
+                           const Catalog& catalog) {
+  const GlobalPlan::SharingRecord* rec = global_plan.record(id);
+  if (rec == nullptr) return "<unknown sharing>\n";
+  std::string out = "sharing " + std::to_string(id) + ": " +
+                    rec->sharing.ToString(catalog) + "\n";
+  out += "  plan " + rec->plan.ToString(catalog) + "\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "  marginal $%.4f, GPC $%.4f, residual ops $%.4f\n",
+                rec->marginal_cost, rec->gpc, rec->residual_cost);
+  out += line;
+  for (size_t i = 0; i < rec->plan.nodes.size(); ++i) {
+    const PlanNode& n = rec->plan.nodes[i];
+    if (n.type == PlanNodeType::kLeaf) continue;
+    std::snprintf(line, sizeof(line), "  %-10s %s ($%.4f standalone)\n",
+                  DecisionName(rec->decisions[i].state),
+                  n.key.ToString(catalog).c_str(), rec->standalone_cost[i]);
+    out += line;
+  }
+  return out;
+}
+
+std::string ExplainGlobalPlan(const GlobalPlan& global_plan,
+                              const Cluster& cluster,
+                              const Catalog& catalog) {
+  (void)catalog;
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "global plan: %zu sharings, %zu alive views, total $%.4f "
+                "per time unit\n",
+                global_plan.num_sharings(), global_plan.num_alive_views(),
+                global_plan.TotalCost());
+  out += line;
+  for (ServerId s = 0; s < cluster.num_servers(); ++s) {
+    std::snprintf(line, sizeof(line),
+                  "  server %u (%s): load %.2f tuples/unit\n", s,
+                  cluster.server(s).name.c_str(), global_plan.ServerLoad(s));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dsm

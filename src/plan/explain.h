@@ -1,0 +1,40 @@
+// Human-readable explanations of sharing plans and of the global plan —
+// the operational "EXPLAIN" a provider needs when auditing what every
+// buyer's bill pays for.
+
+#ifndef DSM_PLAN_EXPLAIN_H_
+#define DSM_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "globalplan/global_plan.h"
+#include "plan/plan.h"
+
+namespace dsm {
+
+// Multi-line, indented operator tree with per-node standalone costs, e.g.
+//   FilterCopy {CHK,RES,REV} @s1  $0.0001
+//     Join {CHK,RES,REV} @s0  $0.1001
+//       Join {CHK,RES} @s0  $0.0500
+//         Leaf CHK @s0  $0
+//         Leaf RES @s1  $0
+//       Leaf REV @s0  $0
+std::string ExplainPlan(const SharingPlan& plan, const Catalog& catalog,
+                        CostModel* model);
+
+// Tabular summary of one integrated sharing: its plan, which nodes were
+// computed fresh versus reused, and the marginal cost paid.
+std::string ExplainSharing(const GlobalPlan& global_plan, SharingId id,
+                           const Catalog& catalog);
+
+// Whole-market summary: active sharings, alive view count, total cost and
+// per-server load.
+std::string ExplainGlobalPlan(const GlobalPlan& global_plan,
+                              const Cluster& cluster,
+                              const Catalog& catalog);
+
+}  // namespace dsm
+
+#endif  // DSM_PLAN_EXPLAIN_H_

@@ -1,0 +1,74 @@
+#include "plan/join_graph.h"
+
+#include <bit>
+#include <cassert>
+
+namespace dsm {
+
+JoinGraph::JoinGraph(size_t num_tables) : adjacency_(num_tables, 0) {}
+
+JoinGraph JoinGraph::FromCatalog(const Catalog& catalog) {
+  JoinGraph g(catalog.num_tables());
+  for (TableId a = 0; a < catalog.num_tables(); ++a) {
+    for (TableId b = a + 1; b < catalog.num_tables(); ++b) {
+      if (catalog.Joinable(a, b)) g.AddEdge(a, b);
+    }
+  }
+  return g;
+}
+
+void JoinGraph::AddEdge(TableId a, TableId b) {
+  assert(a < adjacency_.size() && b < adjacency_.size() && a != b);
+  adjacency_[a] |= 1ULL << b;
+  adjacency_[b] |= 1ULL << a;
+}
+
+bool JoinGraph::HasEdge(TableId a, TableId b) const {
+  return (adjacency_[a] >> b) & 1ULL;
+}
+
+bool JoinGraph::Joinable(TableSet a, TableSet b) const {
+  for (TableId t : a.ToVector()) {
+    if ((adjacency_[t] & b.mask()) != 0) return true;
+  }
+  return false;
+}
+
+bool JoinGraph::Connected(TableSet tables) const {
+  if (tables.size() <= 1) return true;
+  const uint64_t all = tables.mask();
+  // Flood fill from the lowest member using mask arithmetic.
+  uint64_t reached = all & (~all + 1);  // lowest set bit
+  while (true) {
+    uint64_t frontier = 0;
+    uint64_t r = reached;
+    while (r != 0) {
+      const int t = std::countr_zero(r);
+      r &= r - 1;
+      frontier |= adjacency_[static_cast<size_t>(t)] & all;
+    }
+    const uint64_t next = reached | frontier;
+    if (next == reached) break;
+    reached = next;
+  }
+  return reached == all;
+}
+
+std::vector<TableSet> JoinGraph::ConnectedSubsets(TableSet base,
+                                                  int min_size) const {
+  std::vector<TableSet> out;
+  const std::vector<TableId> members = base.ToVector();
+  const size_t k = members.size();
+  assert(k <= 24 && "subset enumeration limited to 24 tables");
+  for (uint64_t bits = 1; bits < (1ULL << k); ++bits) {
+    if (std::popcount(bits) < min_size) continue;
+    TableSet s;
+    for (size_t i = 0; i < k; ++i) {
+      if ((bits >> i) & 1ULL) s.Add(members[i]);
+    }
+    if (Connected(s)) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace dsm

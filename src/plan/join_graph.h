@@ -1,0 +1,51 @@
+// JoinGraph: which base tables are (natural-)joinable with which.
+//
+// A sharing plan may only join two intermediate results if some join edge
+// crosses between their table sets; likewise a subexpression s is contained
+// in a sharing S (s ◁ S, Definition 4.2) iff s's table set is a connected
+// subset of S's tables — only then does s occur in some possible plan.
+
+#ifndef DSM_PLAN_JOIN_GRAPH_H_
+#define DSM_PLAN_JOIN_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/table_set.h"
+
+namespace dsm {
+
+class JoinGraph {
+ public:
+  // Graph over `num_tables` tables with no edges; add them explicitly.
+  // Used by the synthetic/adversarial workloads to control the plan space.
+  explicit JoinGraph(size_t num_tables);
+
+  // Derives edges from shared column names in the catalog.
+  static JoinGraph FromCatalog(const Catalog& catalog);
+
+  size_t num_tables() const { return adjacency_.size(); }
+
+  void AddEdge(TableId a, TableId b);
+  bool HasEdge(TableId a, TableId b) const;
+
+  // True if some edge connects a table in `a` with a table in `b`.
+  bool Joinable(TableSet a, TableSet b) const;
+
+  // True if the subgraph induced by `tables` is connected (singletons and
+  // the empty set count as connected).
+  bool Connected(TableSet tables) const;
+
+  // All connected subsets of `base` with at least `min_size` tables, i.e.
+  // the subexpressions contained in a sharing over `base`.
+  std::vector<TableSet> ConnectedSubsets(TableSet base, int min_size) const;
+
+ private:
+  // adjacency_[t] = bitmask of t's neighbors.
+  std::vector<uint64_t> adjacency_;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_PLAN_JOIN_GRAPH_H_

@@ -1,0 +1,56 @@
+#include "plan/plan.h"
+
+namespace dsm {
+namespace {
+
+void AppendNodeString(const SharingPlan& plan, int index,
+                      const Catalog& catalog, std::string* out) {
+  const PlanNode& n = plan.nodes[static_cast<size_t>(index)];
+  switch (n.type) {
+    case PlanNodeType::kLeaf:
+      *out += catalog.table(n.base_table).name;
+      if (!n.key.predicates.empty()) {
+        *out += "[σ]";
+      }
+      break;
+    case PlanNodeType::kJoin:
+      *out += "(";
+      AppendNodeString(plan, n.left, catalog, out);
+      *out += " ⋈ ";
+      AppendNodeString(plan, n.right, catalog, out);
+      *out += ")@s" + std::to_string(n.server);
+      break;
+    case PlanNodeType::kFilterCopy:
+      *out += "σc[";
+      AppendNodeString(plan, n.left, catalog, out);
+      *out += "]@s" + std::to_string(n.server);
+      break;
+  }
+}
+
+}  // namespace
+
+uint64_t SharingPlan::Signature() const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  ViewKeyHash key_hash;
+  for (const PlanNode& n : nodes) {
+    mix(static_cast<uint64_t>(n.type));
+    mix(key_hash(n.key));
+    mix(n.server);
+    mix(static_cast<uint64_t>(static_cast<int64_t>(n.left)) * 31 +
+        static_cast<uint64_t>(static_cast<int64_t>(n.right)));
+  }
+  return h;
+}
+
+std::string SharingPlan::ToString(const Catalog& catalog) const {
+  if (nodes.empty()) return "<empty plan>";
+  std::string out;
+  AppendNodeString(*this, root_index(), catalog, &out);
+  return out;
+}
+
+}  // namespace dsm

@@ -1,0 +1,50 @@
+#include "workload/predicate_gen.h"
+
+namespace dsm {
+
+Predicate RandomPredicate(const Catalog& catalog, TableSet tables,
+                          Rng* rng) {
+  const std::vector<TableId> members = tables.ToVector();
+  const TableId table = members[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(members.size()) - 1))];
+  const TableDef& def = catalog.table(table);
+
+  Predicate pred;
+  pred.table = table;
+  pred.column = static_cast<uint16_t>(
+      rng->UniformInt(0, static_cast<int64_t>(def.columns.size()) - 1));
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      pred.op = CompareOp::kLt;
+      break;
+    case 1:
+      pred.op = CompareOp::kGt;
+      break;
+    default:
+      pred.op = CompareOp::kEq;
+      break;
+  }
+  const ColumnDef& col = def.columns[pred.column];
+  if (pred.op == CompareOp::kEq) {
+    // Equality against an existing value: an integer within the domain.
+    pred.value = static_cast<double>(rng->UniformInt(
+        static_cast<int64_t>(col.min_value),
+        static_cast<int64_t>(std::max(col.min_value, col.max_value))));
+  } else {
+    pred.value = rng->UniformDouble(col.min_value, col.max_value);
+  }
+  return pred;
+}
+
+std::vector<Predicate> RandomPredicates(const Catalog& catalog,
+                                        TableSet tables, int count,
+                                        Rng* rng) {
+  std::vector<Predicate> preds;
+  preds.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    preds.push_back(RandomPredicate(catalog, tables, rng));
+  }
+  return preds;
+}
+
+}  // namespace dsm

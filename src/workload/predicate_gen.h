@@ -1,0 +1,25 @@
+// Random predicate generation, mirroring Section 6.1.2: "Predicates are
+// randomly generated ... each predicate has the form of
+// 'Table.Attribute [>, <, =] Constant'".
+
+#ifndef DSM_WORKLOAD_PREDICATE_GEN_H_
+#define DSM_WORKLOAD_PREDICATE_GEN_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "expr/predicate.h"
+
+namespace dsm {
+
+// A predicate over a random numeric column of a random member of `tables`,
+// with the constant drawn uniformly from the column's value range.
+Predicate RandomPredicate(const Catalog& catalog, TableSet tables, Rng* rng);
+
+std::vector<Predicate> RandomPredicates(const Catalog& catalog,
+                                        TableSet tables, int count, Rng* rng);
+
+}  // namespace dsm
+
+#endif  // DSM_WORKLOAD_PREDICATE_GEN_H_

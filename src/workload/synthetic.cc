@@ -1,0 +1,99 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dsm {
+
+Result<StarSchema> BuildStarCatalog(Catalog* catalog,
+                                    const StarSchemaOptions& options) {
+  if (options.num_fact < 1 || options.num_dim < 1) {
+    return Status::InvalidArgument("need at least one fact and one dim");
+  }
+  if (options.num_fact + options.num_dim > TableSet::kMaxTables) {
+    return Status::InvalidArgument("star schema exceeds 64 tables");
+  }
+  StarSchema schema;
+
+  for (int d = 0; d < options.num_dim; ++d) {
+    TableDef def;
+    def.name = "DIM" + std::to_string(d);
+    const std::string key = "d" + std::to_string(d) + "_key";
+    ColumnDef kcol;
+    kcol.name = key;
+    kcol.distinct_values = 1e4;
+    kcol.max_value = 1e4;
+    ColumnDef attr;
+    attr.name = "d" + std::to_string(d) + "_attr";
+    attr.distinct_values = 100;
+    attr.max_value = 100;
+    def.columns = {kcol, attr};
+    def.stats.cardinality = 1e4;
+    def.stats.update_rate = 1.0;
+    DSM_ASSIGN_OR_RETURN(const TableId id, catalog->AddTable(std::move(def)));
+    schema.dims.push_back(id);
+  }
+
+  for (int f = 0; f < options.num_fact; ++f) {
+    TableDef def;
+    def.name = "FACT" + std::to_string(f);
+    ColumnDef id_col;
+    id_col.name = "f" + std::to_string(f) + "_id";
+    id_col.distinct_values = 1e6;
+    id_col.max_value = 1e6;
+    def.columns.push_back(id_col);
+    for (int d = 0; d < options.num_dim; ++d) {
+      ColumnDef fk;
+      fk.name = "d" + std::to_string(d) + "_key";
+      fk.distinct_values = 1e4;
+      fk.max_value = 1e4;
+      def.columns.push_back(fk);
+    }
+    def.stats.cardinality = 1e6;
+    def.stats.update_rate = 100.0;
+    def.stats.tuple_bytes = 32.0 * (options.num_dim + 1);
+    DSM_ASSIGN_OR_RETURN(const TableId id, catalog->AddTable(std::move(def)));
+    schema.facts.push_back(id);
+  }
+  return schema;
+}
+
+std::vector<Sharing> GenerateStarSharings(
+    const StarSchema& schema, const Cluster& cluster,
+    const StarSequenceOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Sharing> sequence;
+  sequence.reserve(options.num_sharings);
+  const auto num_dims = static_cast<uint32_t>(schema.dims.size());
+  for (size_t i = 0; i < options.num_sharings; ++i) {
+    const TableId fact = schema.facts[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(schema.facts.size()) - 1))];
+    const int max_dims =
+        std::min<int>(options.max_tables - 1, static_cast<int>(num_dims));
+    const int ndims =
+        options.exact_size
+            ? max_dims
+            : static_cast<int>(rng.UniformInt(1, std::max(1, max_dims)));
+    TableSet tables = TableSet::Of(fact);
+    // Zipf-skewed draws (with rejection on duplicates) concentrate the
+    // sharings on popular dimensions.
+    int added = 0;
+    int guard = 0;
+    while (added < ndims && guard < 1000) {
+      ++guard;
+      const uint32_t d = rng.Zipf(num_dims, options.dim_zipf);
+      const TableId dim = schema.dims[d];
+      if (tables.Contains(dim)) continue;
+      tables.Add(dim);
+      ++added;
+    }
+    const ServerId dest = static_cast<ServerId>(rng.UniformInt(
+        0, static_cast<int64_t>(cluster.num_servers()) - 1));
+    sequence.emplace_back(tables, std::vector<Predicate>{}, dest,
+                          "synth" + std::to_string(i));
+  }
+  return sequence;
+}
+
+}  // namespace dsm

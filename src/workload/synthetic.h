@@ -1,0 +1,53 @@
+// The synthetic star-schema workload of Section 6.1.2: up to 5 fact tables
+// and 30 dimension tables distributed over 1–20 machines; sharings are
+// star joins (a fact plus dimensions) with no predicates; the cost of each
+// join is a random number in [1, 1e5] (use TableDrivenCostModel).
+
+#ifndef DSM_WORKLOAD_SYNTHETIC_H_
+#define DSM_WORKLOAD_SYNTHETIC_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "sharing/sharing.h"
+
+namespace dsm {
+
+struct StarSchemaOptions {
+  int num_fact = 1;
+  int num_dim = 20;
+};
+
+struct StarSchema {
+  std::vector<TableId> facts;
+  std::vector<TableId> dims;
+};
+
+// Fact tables join every dimension (via per-dimension key columns);
+// facts do not join facts, dimensions do not join dimensions.
+Result<StarSchema> BuildStarCatalog(Catalog* catalog,
+                                    const StarSchemaOptions& options);
+
+struct StarSequenceOptions {
+  size_t num_sharings = 1000;
+  // Tables per sharing: 1 fact + (max_tables - 1) dimensions.
+  int max_tables = 8;
+  // When false, each sharing uses between 2 and max_tables tables;
+  // when true, exactly max_tables (for the sharing-size sweeps).
+  bool exact_size = false;
+  // Zipf skew of the dimension choice; >0 makes repeated sharings likely,
+  // matching the paper's observation that later sharings in a long
+  // sequence have often occurred before.
+  double dim_zipf = 0.8;
+  uint64_t seed = 13;
+};
+
+std::vector<Sharing> GenerateStarSharings(const StarSchema& schema,
+                                          const Cluster& cluster,
+                                          const StarSequenceOptions& options);
+
+}  // namespace dsm
+
+#endif  // DSM_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,94 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+TableDef MakeTable(const std::string& name,
+                   const std::vector<std::string>& columns) {
+  TableDef def;
+  def.name = name;
+  for (const std::string& c : columns) {
+    ColumnDef col;
+    col.name = c;
+    def.columns.push_back(col);
+  }
+  def.stats.cardinality = 100;
+  return def;
+}
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog catalog;
+  const auto id = catalog.AddTable(MakeTable("users", {"uid"}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  EXPECT_EQ(catalog.num_tables(), 1u);
+  EXPECT_EQ(catalog.table(0).name, "users");
+  const auto found = catalog.FindTable("users");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 0u);
+}
+
+TEST(CatalogTest, RejectsDuplicateName) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeTable("t", {"a"})).ok());
+  const auto dup = catalog.AddTable(MakeTable("t", {"b"}));
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RejectsEmptyName) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.AddTable(MakeTable("", {"a"})).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, FindMissingTable) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.FindTable("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, JoinabilityFromSharedColumnNames) {
+  Catalog catalog;
+  const TableId a = *catalog.AddTable(MakeTable("a", {"uid", "x"}));
+  const TableId b = *catalog.AddTable(MakeTable("b", {"uid", "y"}));
+  const TableId c = *catalog.AddTable(MakeTable("c", {"z"}));
+  EXPECT_TRUE(catalog.Joinable(a, b));
+  EXPECT_FALSE(catalog.Joinable(a, c));
+  const auto shared = catalog.SharedColumns(a, b);
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_EQ(shared[0], "uid");
+}
+
+TEST(CatalogTest, SixtyFourTableLimit) {
+  Catalog catalog;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        catalog.AddTable(MakeTable("t" + std::to_string(i), {"k"})).ok());
+  }
+  EXPECT_EQ(catalog.AddTable(MakeTable("overflow", {"k"})).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, AllTables) {
+  Catalog catalog;
+  (void)*catalog.AddTable(MakeTable("a", {"x"}));
+  (void)*catalog.AddTable(MakeTable("b", {"x"}));
+  EXPECT_EQ(catalog.AllTables().size(), 2);
+}
+
+TEST(TableDefTest, FindColumn) {
+  const TableDef def = MakeTable("t", {"a", "b", "c"});
+  EXPECT_EQ(def.FindColumn("b"), 1);
+  EXPECT_EQ(def.FindColumn("nope"), -1);
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "double");
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "string");
+}
+
+}  // namespace
+}  // namespace dsm

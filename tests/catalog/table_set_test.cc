@@ -1,0 +1,86 @@
+#include "catalog/table_set.h"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+TEST(TableSetTest, EmptyByDefault) {
+  TableSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+}
+
+TEST(TableSetTest, AddRemoveContains) {
+  TableSet s;
+  s.Add(3);
+  s.Add(10);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(10));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.size(), 2);
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(TableSetTest, OfSingleton) {
+  const TableSet s = TableSet::Of(63);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.Contains(63));
+}
+
+TEST(TableSetTest, SetAlgebra) {
+  TableSet a;
+  a.Add(1);
+  a.Add(2);
+  TableSet b;
+  b.Add(2);
+  b.Add(3);
+  EXPECT_EQ(a.Union(b).size(), 3);
+  EXPECT_EQ(a.Intersect(b).size(), 1);
+  EXPECT_TRUE(a.Intersect(b).Contains(2));
+  EXPECT_EQ(a.Minus(b).size(), 1);
+  EXPECT_TRUE(a.Minus(b).Contains(1));
+}
+
+TEST(TableSetTest, ContainsAllAndIntersects) {
+  TableSet big;
+  big.Add(1);
+  big.Add(2);
+  big.Add(3);
+  TableSet sub;
+  sub.Add(1);
+  sub.Add(3);
+  EXPECT_TRUE(big.ContainsAll(sub));
+  EXPECT_FALSE(sub.ContainsAll(big));
+  EXPECT_TRUE(big.Intersects(sub));
+  EXPECT_FALSE(sub.Intersects(TableSet::Of(9)));
+}
+
+TEST(TableSetTest, ToVectorSorted) {
+  TableSet s;
+  s.Add(40);
+  s.Add(2);
+  s.Add(17);
+  const std::vector<TableId> v = s.ToVector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 2u);
+  EXPECT_EQ(v[1], 17u);
+  EXPECT_EQ(v[2], 40u);
+}
+
+TEST(TableSetTest, EqualityAndOrdering) {
+  EXPECT_EQ(TableSet::Of(5), TableSet::Of(5));
+  EXPECT_FALSE(TableSet::Of(5) == TableSet::Of(6));
+  EXPECT_TRUE(TableSet::Of(5) < TableSet::Of(6));
+}
+
+TEST(TableSetTest, HashDistinguishesNearbySets) {
+  TableSetHash h;
+  EXPECT_NE(h(TableSet::Of(0)), h(TableSet::Of(1)));
+  EXPECT_EQ(h(TableSet::Of(7)), h(TableSet::Of(7)));
+}
+
+}  // namespace
+}  // namespace dsm

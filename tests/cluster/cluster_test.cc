@@ -1,0 +1,65 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dsm {
+namespace {
+
+TEST(ClusterTest, AddServers) {
+  Cluster cluster;
+  EXPECT_EQ(cluster.AddServer("s0"), 0u);
+  EXPECT_EQ(cluster.AddServer("s1", 500.0), 1u);
+  EXPECT_EQ(cluster.num_servers(), 2u);
+  EXPECT_EQ(cluster.server(1).name, "s1");
+  EXPECT_DOUBLE_EQ(cluster.server(1).capacity_tuples_per_unit, 500.0);
+  EXPECT_TRUE(std::isinf(cluster.server(0).capacity_tuples_per_unit));
+}
+
+TEST(ClusterTest, PlaceAndLookup) {
+  Cluster cluster;
+  cluster.AddServer("s0");
+  cluster.AddServer("s1");
+  ASSERT_TRUE(cluster.PlaceTable(0, 1).ok());
+  const auto home = cluster.HomeOf(0);
+  ASSERT_TRUE(home.ok());
+  EXPECT_EQ(*home, 1u);
+}
+
+TEST(ClusterTest, PlaceRejectsUnknownServer) {
+  Cluster cluster;
+  cluster.AddServer("s0");
+  EXPECT_EQ(cluster.PlaceTable(0, 5).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterTest, UnplacedTableNotFound) {
+  Cluster cluster;
+  cluster.AddServer("s0");
+  EXPECT_EQ(cluster.HomeOf(3).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ClusterTest, RoundRobinPlacement) {
+  Cluster cluster;
+  cluster.AddServer("s0");
+  cluster.AddServer("s1");
+  cluster.AddServer("s2");
+  cluster.PlaceRoundRobin(7);
+  for (TableId t = 0; t < 7; ++t) {
+    const auto home = cluster.HomeOf(t);
+    ASSERT_TRUE(home.ok());
+    EXPECT_EQ(*home, t % 3);
+  }
+}
+
+TEST(ClusterTest, RatesDefaultAndOverride) {
+  Cluster cluster;
+  EXPECT_GT(cluster.rates().cpu_per_tuple, 0.0);
+  CostRates rates;
+  rates.cpu_per_tuple = 0.5;
+  cluster.set_rates(rates);
+  EXPECT_DOUBLE_EQ(cluster.rates().cpu_per_tuple, 0.5);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dsm {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformInt(4, 4), 4);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfZeroExponentIsRoughlyUniform) {
+  Rng rng(9);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Zipf(4, 0.0)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 1600);
+    EXPECT_LT(c, 2400);
+  }
+}
+
+TEST(RngTest, ZipfSkewPrefersLowIndices) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[rng.Zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[9] * 3);
+}
+
+TEST(RngTest, SampleWithoutReplacement) {
+  Rng rng(17);
+  const std::vector<uint32_t> s = rng.Sample(20, 8);
+  EXPECT_EQ(s.size(), 8u);
+  const std::set<uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  for (const uint32_t v : s) EXPECT_LT(v, 20u);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,214 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/default_cost_model.h"
+#include "cost/table_cost_model.h"
+
+namespace dsm {
+namespace {
+
+TableSet TS(std::initializer_list<TableId> ids) {
+  TableSet s;
+  for (const TableId id : ids) s.Add(id);
+  return s;
+}
+
+Predicate P(TableId t, CompareOp op, double v) {
+  Predicate p;
+  p.table = t;
+  p.column = 0;
+  p.op = op;
+  p.value = v;
+  return p;
+}
+
+class DefaultCostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableDef r;
+    r.name = "R";
+    ColumnDef uid;
+    uid.name = "uid";
+    uid.distinct_values = 1000;
+    uid.min_value = 0;
+    uid.max_value = 1000;
+    r.columns = {uid};
+    r.stats.cardinality = 1000;
+    r.stats.update_rate = 10;
+    r.stats.tuple_bytes = 100;
+    r_ = *catalog_.AddTable(r);
+
+    TableDef s = r;
+    s.name = "S";
+    s.stats.cardinality = 5000;
+    s.stats.update_rate = 50;
+    s_ = *catalog_.AddTable(s);
+
+    cluster_.AddServer("s0");
+    cluster_.AddServer("s1");
+    ASSERT_TRUE(cluster_.PlaceTable(r_, 0).ok());
+    ASSERT_TRUE(cluster_.PlaceTable(s_, 1).ok());
+  }
+
+  Catalog catalog_;
+  Cluster cluster_;
+  TableId r_ = 0, s_ = 0;
+};
+
+TEST_F(DefaultCostModelTest, JoinCostPositive) {
+  DefaultCostModel model(&catalog_, &cluster_);
+  const double cost =
+      model.JoinCost(ViewKey(TS({r_, s_})), 0, ViewKey(TableSet::Of(r_)), 0,
+                     ViewKey(TableSet::Of(s_)), 1);
+  EXPECT_GT(cost, 0.0);
+}
+
+TEST_F(DefaultCostModelTest, CrossServerJoinCostsMore) {
+  DefaultCostModel model(&catalog_, &cluster_);
+  const ViewKey out(TS({r_, s_}));
+  const ViewKey l(TableSet::Of(r_));
+  const ViewKey r(TableSet::Of(s_));
+  const double local = model.JoinCost(out, 0, l, 0, r, 0);
+  const double remote = model.JoinCost(out, 0, l, 0, r, 1);
+  EXPECT_GT(remote, local);
+}
+
+TEST_F(DefaultCostModelTest, FilterCopyIsFreeWhenNoop) {
+  DefaultCostModel model(&catalog_, &cluster_);
+  const ViewKey key(TS({r_, s_}));
+  EXPECT_DOUBLE_EQ(model.FilterCopyCost(key, 0, key, 0), 0.0);
+}
+
+TEST_F(DefaultCostModelTest, FilterCopyChargesTransfer) {
+  DefaultCostModel model(&catalog_, &cluster_);
+  const ViewKey key(TS({r_, s_}));
+  const double same = model.FilterCopyCost(
+      key, 0, ViewKey(TS({r_, s_}), {P(r_, CompareOp::kLt, 500)}), 0);
+  const double cross = model.FilterCopyCost(
+      key, 0, ViewKey(TS({r_, s_}), {P(r_, CompareOp::kLt, 500)}), 1);
+  EXPECT_GT(same, 0.0);
+  EXPECT_GT(cross, same);
+}
+
+TEST_F(DefaultCostModelTest, UnpredicatedLeafIsFree) {
+  DefaultCostModel model(&catalog_, &cluster_);
+  EXPECT_DOUBLE_EQ(model.LeafCost(r_, ViewKey(TableSet::Of(r_)), 0), 0.0);
+}
+
+TEST_F(DefaultCostModelTest, PredicatedLeafCosts) {
+  DefaultCostModel model(&catalog_, &cluster_);
+  const ViewKey filtered(TableSet::Of(r_), {P(r_, CompareOp::kLt, 500)});
+  EXPECT_GT(model.LeafCost(r_, filtered, 0), 0.0);
+}
+
+TEST_F(DefaultCostModelTest, PercReflectsSelectivity) {
+  DefaultCostModel model(&catalog_, &cluster_);
+  const ViewKey full(TS({r_, s_}));
+  EXPECT_DOUBLE_EQ(model.Perc(full), 1.0);
+  // uid < 500 on [0,1000]: selectivity 0.5.
+  const ViewKey half(TS({r_, s_}), {P(r_, CompareOp::kLt, 500)});
+  EXPECT_NEAR(model.Perc(half), 0.5, 1e-6);
+}
+
+TEST_F(DefaultCostModelTest, SelectivePredicateCheapensJoin) {
+  DefaultCostModel model(&catalog_, &cluster_);
+  const ViewKey out_full(TS({r_, s_}));
+  const ViewKey l_full(TableSet::Of(r_));
+  const ViewKey l_filt(TableSet::Of(r_), {P(r_, CompareOp::kLt, 10)});
+  const ViewKey out_filt(TS({r_, s_}), {P(r_, CompareOp::kLt, 10)});
+  const ViewKey rk(TableSet::Of(s_));
+  const double full = model.JoinCost(out_full, 0, l_full, 0, rk, 0);
+  const double filt = model.JoinCost(out_filt, 0, l_filt, 0, rk, 0);
+  EXPECT_LT(filt, full);
+}
+
+TEST(TableCostModelTest, ExplicitCostsAreSymmetric) {
+  TableDrivenCostModel model;
+  model.SetJoinCost(TS({0}), TS({1}), 42.0);
+  const ViewKey out(TS({0, 1}));
+  EXPECT_DOUBLE_EQ(model.JoinCost(out, 0, ViewKey(TS({0})), 0,
+                                  ViewKey(TS({1})), 0),
+                   42.0);
+  EXPECT_DOUBLE_EQ(model.JoinCost(out, 0, ViewKey(TS({1})), 0,
+                                  ViewKey(TS({0})), 0),
+                   42.0);
+}
+
+TEST(TableCostModelTest, RandomCostsMemoizedAndInRange) {
+  TableDrivenCostModel::Options options;
+  options.random_min = 10.0;
+  options.random_max = 20.0;
+  TableDrivenCostModel model(options);
+  const ViewKey out(TS({2, 3}));
+  const double c1 =
+      model.JoinCost(out, 0, ViewKey(TS({2})), 0, ViewKey(TS({3})), 0);
+  const double c2 =
+      model.JoinCost(out, 0, ViewKey(TS({2})), 0, ViewKey(TS({3})), 0);
+  EXPECT_DOUBLE_EQ(c1, c2);
+  EXPECT_GE(c1, 10.0);
+  EXPECT_LE(c1, 20.0);
+}
+
+TEST(TableCostModelTest, TransferCostApplied) {
+  TableDrivenCostModel::Options options;
+  options.transfer_cost = 7.0;
+  TableDrivenCostModel model(options);
+  model.SetJoinCost(TS({0}), TS({1}), 10.0);
+  const ViewKey out(TS({0, 1}));
+  EXPECT_DOUBLE_EQ(model.JoinCost(out, 0, ViewKey(TS({0})), 0,
+                                  ViewKey(TS({1})), 1),
+                   17.0);
+  EXPECT_DOUBLE_EQ(
+      model.FilterCopyCost(out, 0, out, 1), 7.0);
+  EXPECT_DOUBLE_EQ(model.FilterCopyCost(out, 0, out, 0), 0.0);
+}
+
+TEST(TableCostModelTest, PercUsesPredicateSelectivity) {
+  TableDrivenCostModel::Options options;
+  options.predicate_selectivity = 0.5;
+  TableDrivenCostModel model(options);
+  EXPECT_DOUBLE_EQ(model.Perc(ViewKey(TS({0, 1}))), 1.0);
+  const ViewKey one(TS({0, 1}), {P(0, CompareOp::kLt, 5)});
+  EXPECT_DOUBLE_EQ(model.Perc(one), 0.5);
+}
+
+TEST(PlanCostTest, SumsNodeCosts) {
+  TableDrivenCostModel model;
+  model.SetJoinCost(TS({0}), TS({1}), 4.0);
+  model.SetJoinCost(TS({0, 1}), TS({2}), 10.0);
+
+  SharingPlan plan;
+  PlanNode leaf_a;
+  leaf_a.type = PlanNodeType::kLeaf;
+  leaf_a.base_table = 0;
+  leaf_a.key = ViewKey(TS({0}));
+  PlanNode leaf_b = leaf_a;
+  leaf_b.base_table = 1;
+  leaf_b.key = ViewKey(TS({1}));
+  PlanNode leaf_c = leaf_a;
+  leaf_c.base_table = 2;
+  leaf_c.key = ViewKey(TS({2}));
+  PlanNode join_ab;
+  join_ab.type = PlanNodeType::kJoin;
+  join_ab.key = ViewKey(TS({0, 1}));
+  join_ab.left = 0;
+  join_ab.right = 1;
+  PlanNode join_abc;
+  join_abc.type = PlanNodeType::kJoin;
+  join_abc.key = ViewKey(TS({0, 1, 2}));
+  join_abc.left = 3;
+  join_abc.right = 2;
+  plan.nodes = {leaf_a, leaf_b, leaf_c, join_ab, join_abc};
+
+  EXPECT_DOUBLE_EQ(PlanCost(plan, &model), 14.0);
+  EXPECT_DOUBLE_EQ(PlanNodeCost(plan, 3, &model), 4.0);
+  EXPECT_DOUBLE_EQ(PlanNodeCost(plan, 4, &model), 10.0);
+  EXPECT_DOUBLE_EQ(PlanNodeCost(plan, 0, &model), 0.0);
+  // Loads: join nodes process both children's delta streams (rate 1 each).
+  EXPECT_DOUBLE_EQ(PlanNodeLoad(plan, 3, &model), 2.0);
+  EXPECT_DOUBLE_EQ(PlanNodeLoad(plan, 0, &model), 0.0);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,216 @@
+// FAIRCOST golden tests, centered on the paper's worked Example 5.1:
+// five sharings, saving(ab) = 4 with num = 4, saving(abc) = 28 with
+// num = 4, maximum fairness α = 0.8 and attributed costs
+// {3.2, 12.6, 12.6, 5, 16.6} summing to cost(GP) = 50.
+
+#include "costing/fair_cost.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "costing/fairness_metrics.h"
+
+namespace dsm {
+namespace {
+
+// The Example 5.1 numbers, fed directly into the numeric core:
+//   LPC  = {4, 15, 15, 5, 23}
+//   GPC  = {4, 19, 19, 17, 23}
+//   Σ_r saving(r)/num(r) = {1, 8, 7, 8, 8}   (S3's plan lacks ab)
+//   S2 and S3 are identical sharings.
+std::vector<FairCostEntry> Example51Entries() {
+  std::vector<FairCostEntry> entries(5);
+  const double lpc[] = {4, 15, 15, 5, 23};
+  const double gpc[] = {4, 19, 19, 17, 23};
+  const double sav[] = {1, 8, 7, 8, 8};
+  for (size_t i = 0; i < 5; ++i) {
+    entries[i].id = i + 1;
+    entries[i].lpc = lpc[i];
+    entries[i].gpc = gpc[i];
+    entries[i].saving_term = sav[i];
+    entries[i].identity_group = static_cast<uint32_t>(i);
+  }
+  entries[2].identity_group = 1;  // S3 identical to S2
+  return entries;
+}
+
+TEST(FairCostExample51, AlphaIsPointEight) {
+  const auto result = FairCost::Compute(Example51Entries(), 50.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->alpha, 0.8, 1e-6);
+}
+
+TEST(FairCostExample51, AttributedCostsMatchThePaper) {
+  const auto result = FairCost::Compute(Example51Entries(), 50.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->ac.size(), 5u);
+  EXPECT_NEAR(result->ac[0], 3.2, 1e-5);
+  EXPECT_NEAR(result->ac[1], 12.6, 1e-5);
+  EXPECT_NEAR(result->ac[2], 12.6, 1e-5);
+  EXPECT_NEAR(result->ac[3], 5.0, 1e-5);
+  EXPECT_NEAR(result->ac[4], 16.6, 1e-5);
+}
+
+TEST(FairCostExample51, CostRecoveredExactly) {
+  const auto result = FairCost::Compute(Example51Entries(), 50.0);
+  ASSERT_TRUE(result.ok());
+  const double total =
+      std::accumulate(result->ac.begin(), result->ac.end(), 0.0);
+  EXPECT_NEAR(total, 50.0, 1e-9);
+}
+
+TEST(FairCostExample51, AllFairnessMetricsPerfect) {
+  const auto entries = Example51Entries();
+  const auto result = FairCost::Compute(entries, 50.0);
+  ASSERT_TRUE(result.ok());
+  const FairnessReport report = EvaluateFairness(entries, 50.0, result->ac);
+  EXPECT_NEAR(report.alpha, 0.8, 1e-5);
+  EXPECT_DOUBLE_EQ(report.lpc_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.identical_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.contained_fraction, 1.0);
+  EXPECT_NEAR(report.recovery_error, 0.0, 1e-9);
+}
+
+TEST(FairCostExample51, HigherAlphaWouldUndershoot) {
+  // The paper: "A higher value of α would mean the attributed costs of
+  // S1, S2, S3 and S5 all need to be reduced, which is not possible".
+  // Bounds at α = 0.9 sum below 50.
+  const auto entries = Example51Entries();
+  double sum = 0.0;
+  for (const FairCostEntry& e : entries) {
+    sum += std::min(e.lpc, e.gpc - 0.9 * e.saving_term);
+  }
+  EXPECT_LT(sum, 50.0);
+}
+
+TEST(FairCostTest, OverrunFallbackScalesLpcsUp) {
+  std::vector<FairCostEntry> entries(2);
+  entries[0].lpc = 3;
+  entries[0].gpc = 10;
+  entries[0].identity_group = 0;
+  entries[1].lpc = 5;
+  entries[1].gpc = 10;
+  entries[1].identity_group = 1;
+  FairCost::Options options;
+  options.lpc_overrun_fallback = true;
+  // cost(GP) = 12 > Σ LPC = 8: overrun factor 1.5.
+  const auto result = FairCost::Compute(entries, 12.0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->criteria_satisfied);
+  EXPECT_DOUBLE_EQ(result->alpha, 0.0);
+  EXPECT_NEAR(result->ac[0], 4.5, 1e-9);
+  EXPECT_NEAR(result->ac[1], 7.5, 1e-9);
+}
+
+TEST(FairCostTest, FallbackUnusedWhenFeasible) {
+  std::vector<FairCostEntry> entries(1);
+  entries[0].lpc = 10;
+  entries[0].gpc = 10;
+  FairCost::Options options;
+  options.lpc_overrun_fallback = true;
+  const auto result = FairCost::Compute(entries, 10.0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->criteria_satisfied);
+}
+
+TEST(FairCostTest, InfeasibleWhenLpcSumBelowGlobalCost) {
+  // Lemma 5.2: satisfiable iff Σ LPC >= cost(GP).
+  std::vector<FairCostEntry> entries(2);
+  entries[0].lpc = 3;
+  entries[0].gpc = 10;
+  entries[0].identity_group = 0;
+  entries[1].lpc = 4;
+  entries[1].gpc = 10;
+  entries[1].identity_group = 1;
+  const auto result = FairCost::Compute(entries, 8.0);
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(FairCostTest, ExactLpcSumIsFeasible) {
+  std::vector<FairCostEntry> entries(2);
+  entries[0].lpc = 3;
+  entries[0].gpc = 10;
+  entries[0].identity_group = 0;
+  entries[1].lpc = 5;
+  entries[1].gpc = 10;
+  entries[1].identity_group = 1;
+  const auto result = FairCost::Compute(entries, 8.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->ac[0] + result->ac[1], 8.0, 1e-9);
+  EXPECT_NEAR(result->ac[0], 3.0, 1e-6);
+  EXPECT_NEAR(result->ac[1], 5.0, 1e-6);
+}
+
+TEST(FairCostTest, SlackAtFullFairnessScalesDown) {
+  // Savings small, LPCs generous: even α = 1 leaves slack; ACs scale down
+  // proportionally to recover the global cost exactly.
+  std::vector<FairCostEntry> entries(2);
+  entries[0].lpc = 10;
+  entries[0].gpc = 12;
+  entries[0].saving_term = 1;
+  entries[0].identity_group = 0;
+  entries[1].lpc = 10;
+  entries[1].gpc = 12;
+  entries[1].saving_term = 1;
+  entries[1].identity_group = 1;
+  const auto result = FairCost::Compute(entries, 15.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->alpha, 1.0, 1e-9);
+  EXPECT_TRUE(result->scaled_down);
+  EXPECT_NEAR(result->ac[0] + result->ac[1], 15.0, 1e-9);
+  EXPECT_NEAR(result->ac[0], 7.5, 1e-9);
+}
+
+TEST(FairCostTest, IdenticalSharingsShareTheTighterBound) {
+  // Identical queries with different GPCs (different plans chosen by the
+  // provider) must get equal ACs — the tighter (smaller) bound wins.
+  std::vector<FairCostEntry> entries(2);
+  entries[0].lpc = 20;
+  entries[0].gpc = 30;
+  entries[0].saving_term = 10;
+  entries[0].identity_group = 0;
+  entries[1].lpc = 20;
+  entries[1].gpc = 25;
+  entries[1].saving_term = 10;
+  entries[1].identity_group = 0;
+  const auto result = FairCost::Compute(entries, 30.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->ac[0], result->ac[1], 1e-9);
+}
+
+TEST(FairCostTest, ContainmentCapsTheContainedSharing) {
+  // Entry 0 contained in entry 1 (lower LPC): AC(0) <= AC(1) even though
+  // 0's own bounds would allow more.
+  std::vector<FairCostEntry> entries(2);
+  entries[0].lpc = 9;
+  entries[0].gpc = 20;
+  entries[0].saving_term = 0;
+  entries[0].identity_group = 0;
+  entries[0].containers = {1};
+  entries[1].lpc = 10;
+  entries[1].gpc = 12;
+  entries[1].saving_term = 8;  // strong α pressure on the container
+  entries[1].identity_group = 1;
+  const auto result = FairCost::Compute(entries, 10.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->ac[0], result->ac[1] + 1e-9);
+}
+
+TEST(FairCostTest, EmptyInputRejected) {
+  EXPECT_EQ(FairCost::Compute({}, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FairCostTest, SingleSharingPaysEverything) {
+  std::vector<FairCostEntry> entries(1);
+  entries[0].lpc = 10;
+  entries[0].gpc = 10;
+  const auto result = FairCost::Compute(entries, 10.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->ac[0], 10.0, 1e-9);
+  EXPECT_NEAR(result->alpha, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dsm

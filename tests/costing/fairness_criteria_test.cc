@@ -1,0 +1,128 @@
+// Lemma 5.1: the five fairness conditions are non-redundant — for each
+// condition there is a cost assignment satisfying the other four but not
+// it. These tests construct exactly such assignments and check that the
+// fairness metrics flag only the intended violation.
+
+#include <gtest/gtest.h>
+
+#include "costing/fair_cost.h"
+#include "costing/fairness_metrics.h"
+
+namespace dsm {
+namespace {
+
+// Two independent sharings plus an identical pair and a contained pair.
+//   0: lpc 10, gpc 14, saving 2
+//   1: identical to 0 (same query)
+//   2: contained in 3, lpc 6
+//   3: container,      lpc 8
+std::vector<FairCostEntry> BaseEntries() {
+  std::vector<FairCostEntry> entries(4);
+  entries[0].lpc = 10;
+  entries[0].gpc = 14;
+  entries[0].saving_term = 2;
+  entries[0].identity_group = 0;
+  entries[1].lpc = 10;
+  entries[1].gpc = 14;
+  entries[1].saving_term = 2;
+  entries[1].identity_group = 0;  // identical to entry 0
+  entries[2].lpc = 6;
+  entries[2].gpc = 9;
+  entries[2].identity_group = 1;
+  entries[2].containers = {3};
+  entries[3].lpc = 8;
+  entries[3].gpc = 9;
+  entries[3].identity_group = 2;
+  return entries;
+}
+
+// An assignment satisfying all five conditions (α = 1 achievable).
+TEST(FairnessCriteria, AllSatisfiable) {
+  const auto entries = BaseEntries();
+  // Bounds at α=1: {min(10,12)=10, 10, 6, 8} -> choose global cost 34.
+  const std::vector<double> ac = {10, 10, 6, 8};
+  const FairnessReport r = EvaluateFairness(entries, 34.0, ac);
+  EXPECT_DOUBLE_EQ(r.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(r.lpc_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.identical_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.contained_fraction, 1.0);
+  EXPECT_NEAR(r.recovery_error, 0.0, 1e-12);
+}
+
+TEST(FairnessCriteria, ViolateOnlyIdentical) {
+  const auto entries = BaseEntries();
+  const std::vector<double> ac = {9.5, 10, 6, 8};  // 0 and 1 differ
+  const FairnessReport r = EvaluateFairness(entries, 33.5, ac);
+  EXPECT_LT(r.identical_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.lpc_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.contained_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.alpha, 1.0);
+  EXPECT_NEAR(r.recovery_error, 0.0, 1e-12);
+}
+
+TEST(FairnessCriteria, ViolateOnlyLpc) {
+  const auto entries = BaseEntries();
+  // Entry 2 charged above its LPC; orderings and identities intact.
+  const std::vector<double> ac = {10, 10, 7, 8};
+  const FairnessReport r = EvaluateFairness(entries, 35.0, ac);
+  EXPECT_LT(r.lpc_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.identical_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.contained_fraction, 1.0);
+  EXPECT_NEAR(r.recovery_error, 0.0, 1e-12);
+}
+
+TEST(FairnessCriteria, ViolateOnlyContained) {
+  const auto entries = BaseEntries();
+  // The contained sharing (2) pays more than its container (3).
+  const std::vector<double> ac = {10, 10, 6, 5};
+  const FairnessReport r = EvaluateFairness(entries, 31.0, ac);
+  EXPECT_LT(r.contained_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.lpc_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.identical_fraction, 1.0);
+  EXPECT_NEAR(r.recovery_error, 0.0, 1e-12);
+}
+
+TEST(FairnessCriteria, ViolateOnlySavingAward) {
+  // Entries with generous LPCs so only the α bound binds: charging 13 of
+  // a GPC of 14 awards just 0.5 of the saving term 2 -> α = 0.5.
+  auto entries = BaseEntries();
+  entries[0].lpc = 14;
+  entries[1].lpc = 14;
+  const std::vector<double> ac = {13, 13, 6, 8};
+  const FairnessReport r = EvaluateFairness(entries, 40.0, ac);
+  EXPECT_NEAR(r.alpha, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(r.lpc_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.identical_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.contained_fraction, 1.0);
+  EXPECT_NEAR(r.recovery_error, 0.0, 1e-12);
+}
+
+TEST(FairnessCriteria, ViolateOnlyRecovery) {
+  const auto entries = BaseEntries();
+  const std::vector<double> ac = {10, 10, 6, 8};  // sums to 34
+  const FairnessReport r = EvaluateFairness(entries, 40.0, ac);
+  EXPECT_GT(r.recovery_error, 0.1);
+  EXPECT_DOUBLE_EQ(r.lpc_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.identical_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.contained_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.alpha, 1.0);
+}
+
+TEST(FairnessCriteria, AlphaClampedToZero) {
+  std::vector<FairCostEntry> entries(1);
+  entries[0].lpc = 100;
+  entries[0].gpc = 10;
+  entries[0].saving_term = 5;
+  const std::vector<double> ac = {50};  // above GPC: negative raw alpha
+  const FairnessReport r = EvaluateFairness(entries, 50.0, ac);
+  EXPECT_DOUBLE_EQ(r.alpha, 0.0);
+}
+
+TEST(FairnessCriteria, EmptyInputIsVacuouslyFair) {
+  const FairnessReport r = EvaluateFairness({}, 0.0, {});
+  EXPECT_DOUBLE_EQ(r.identical_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.contained_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,95 @@
+#include "expr/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/selectivity.h"
+
+namespace dsm {
+namespace {
+
+TEST(HistogramTest, EmptyIsNeutral) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.Selectivity(CompareOp::kLt, 5.0), 1.0);
+}
+
+TEST(HistogramTest, UniformDataMatchesUniformModel) {
+  Histogram h(0.0, 100.0, 10);
+  for (int v = 0; v < 100; ++v) h.Add(v + 0.5);
+  EXPECT_NEAR(h.Selectivity(CompareOp::kLt, 25.0), 0.25, 0.02);
+  EXPECT_NEAR(h.Selectivity(CompareOp::kGt, 25.0), 0.75, 0.02);
+}
+
+TEST(HistogramTest, SkewCaptured) {
+  // 90% of the mass in [0,10), the rest spread over [10,100).
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 900; ++i) h.Add(5.0);
+  for (int i = 0; i < 100; ++i) h.Add(10.0 + (i % 90));
+  EXPECT_GT(h.Selectivity(CompareOp::kLt, 10.0), 0.85);
+  EXPECT_LT(h.Selectivity(CompareOp::kGt, 50.0), 0.1);
+}
+
+TEST(HistogramTest, BoundaryFractions) {
+  Histogram h(0.0, 10.0, 1);  // single bucket
+  for (int i = 0; i < 10; ++i) h.Add(static_cast<double>(i));
+  // Linear interpolation inside the bucket.
+  EXPECT_NEAR(h.Selectivity(CompareOp::kLt, 2.5), 0.25, 1e-9);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdgeBuckets) {
+  Histogram h(0.0, 10.0, 2);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_NEAR(h.Selectivity(CompareOp::kLt, 5.0), 0.5, 1e-9);
+}
+
+TEST(HistogramTest, EqualitySelectivityBounded) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(3.5);
+  const double sel = h.Selectivity(CompareOp::kEq, 3.5);
+  EXPECT_GT(sel, 0.0);
+  EXPECT_LE(sel, 1.0);
+  EXPECT_DOUBLE_EQ(h.Selectivity(CompareOp::kEq, 7.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Selectivity(CompareOp::kEq, -1.0), 0.0);
+}
+
+TEST(HistogramTest, FromValues) {
+  const Histogram h = Histogram::FromValues({1, 2, 3, 4, 100}, 4);
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_GT(h.Selectivity(CompareOp::kLt, 50.0), 0.7);
+}
+
+TEST(HistogramTest, FromEmptyValues) {
+  const Histogram h = Histogram::FromValues({}, 4);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(HistogramTest, EstimatorPrefersHistogramOverUniform) {
+  Catalog catalog;
+  TableDef def;
+  def.name = "T";
+  ColumnDef col;
+  col.name = "v";
+  col.distinct_values = 100;
+  col.min_value = 0;
+  col.max_value = 100;  // uniform model would say sel(v < 10) = 0.1
+  auto histogram = std::make_shared<Histogram>(0.0, 100.0, 10);
+  for (int i = 0; i < 95; ++i) histogram->Add(5.0);  // heavy skew low
+  for (int i = 0; i < 5; ++i) histogram->Add(55.0);
+  col.histogram = histogram;
+  def.columns = {col};
+  def.stats.cardinality = 100;
+  const TableId t = *catalog.AddTable(def);
+
+  StatsEstimator est(&catalog);
+  Predicate p;
+  p.table = t;
+  p.column = 0;
+  p.op = CompareOp::kLt;
+  p.value = 10;
+  EXPECT_GT(est.PredicateSelectivity(p), 0.9);  // histogram, not 0.1
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,83 @@
+#include "expr/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+Predicate P(TableId t, uint16_t c, CompareOp op, double v) {
+  Predicate p;
+  p.table = t;
+  p.column = c;
+  p.op = op;
+  p.value = v;
+  return p;
+}
+
+TEST(PredicateTest, EqualityAndOrdering) {
+  const Predicate a = P(0, 1, CompareOp::kLt, 5.0);
+  const Predicate b = P(0, 1, CompareOp::kLt, 5.0);
+  const Predicate c = P(0, 1, CompareOp::kLt, 6.0);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c);
+}
+
+TEST(PredicateTest, NormalizeSortsAndDedupes) {
+  std::vector<Predicate> preds = {P(1, 0, CompareOp::kEq, 2.0),
+                                  P(0, 0, CompareOp::kLt, 1.0),
+                                  P(1, 0, CompareOp::kEq, 2.0)};
+  NormalizePredicates(&preds);
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0].table, 0u);
+  EXPECT_EQ(preds[1].table, 1u);
+}
+
+TEST(PredicateTest, PredicatesOnTables) {
+  std::vector<Predicate> preds = {P(0, 0, CompareOp::kLt, 1.0),
+                                  P(2, 0, CompareOp::kGt, 2.0),
+                                  P(5, 0, CompareOp::kEq, 3.0)};
+  NormalizePredicates(&preds);
+  TableSet tables;
+  tables.Add(0);
+  tables.Add(5);
+  const auto sub = PredicatesOnTables(preds, tables);
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub[0].table, 0u);
+  EXPECT_EQ(sub[1].table, 5u);
+}
+
+TEST(PredicateTest, SubsetAndDifference) {
+  std::vector<Predicate> small = {P(0, 0, CompareOp::kLt, 1.0)};
+  std::vector<Predicate> big = {P(0, 0, CompareOp::kLt, 1.0),
+                                P(1, 1, CompareOp::kGt, 2.0)};
+  NormalizePredicates(&small);
+  NormalizePredicates(&big);
+  EXPECT_TRUE(PredicateSubset(small, big));
+  EXPECT_FALSE(PredicateSubset(big, small));
+  EXPECT_TRUE(PredicateSubset(small, small));
+  const auto diff = PredicateDifference(small, big);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].table, 1u);
+}
+
+TEST(PredicateTest, ToStringUsesCatalogNames) {
+  Catalog catalog;
+  TableDef def;
+  def.name = "RES";
+  ColumnDef col;
+  col.name = "city";
+  def.columns = {col};
+  (void)*catalog.AddTable(def);
+  const Predicate p = P(0, 0, CompareOp::kEq, 42.0);
+  EXPECT_EQ(p.ToString(catalog), "RES.city = 42");
+}
+
+TEST(CompareOpTest, Names) {
+  EXPECT_STREQ(CompareOpToString(CompareOp::kLt), "<");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kGt), ">");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kEq), "=");
+}
+
+}  // namespace
+}  // namespace dsm

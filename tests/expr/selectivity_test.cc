@@ -1,0 +1,152 @@
+#include "expr/selectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+class SelectivityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // R(uid, v): 1000 rows, uid 1000 distinct; S(uid, w): 5000 rows,
+    // uid 1000 distinct (each uid ~5 rows in S).
+    TableDef r;
+    r.name = "R";
+    ColumnDef uid;
+    uid.name = "uid";
+    uid.distinct_values = 1000;
+    uid.min_value = 0;
+    uid.max_value = 1000;
+    ColumnDef v;
+    v.name = "v";
+    v.distinct_values = 100;
+    v.min_value = 0;
+    v.max_value = 100;
+    r.columns = {uid, v};
+    r.stats.cardinality = 1000;
+    r.stats.update_rate = 10;
+    r.stats.tuple_bytes = 50;
+    r_ = *catalog_.AddTable(r);
+
+    TableDef s;
+    s.name = "S";
+    ColumnDef w;
+    w.name = "w";
+    w.distinct_values = 10;
+    w.min_value = 0;
+    w.max_value = 10;
+    s.columns = {uid, w};
+    s.stats.cardinality = 5000;
+    s.stats.update_rate = 50;
+    s.stats.tuple_bytes = 30;
+    s_ = *catalog_.AddTable(s);
+  }
+
+  Catalog catalog_;
+  TableId r_ = 0;
+  TableId s_ = 0;
+};
+
+TEST_F(SelectivityTest, EqualityPredicateSelectivity) {
+  StatsEstimator est(&catalog_);
+  Predicate p;
+  p.table = r_;
+  p.column = 1;  // v: 100 distinct
+  p.op = CompareOp::kEq;
+  p.value = 7;
+  EXPECT_NEAR(est.PredicateSelectivity(p), 0.01, 1e-12);
+}
+
+TEST_F(SelectivityTest, RangePredicateSelectivity) {
+  StatsEstimator est(&catalog_);
+  Predicate p;
+  p.table = r_;
+  p.column = 1;  // v in [0, 100]
+  p.op = CompareOp::kLt;
+  p.value = 25;
+  EXPECT_NEAR(est.PredicateSelectivity(p), 0.25, 1e-12);
+  p.op = CompareOp::kGt;
+  EXPECT_NEAR(est.PredicateSelectivity(p), 0.75, 1e-12);
+}
+
+TEST_F(SelectivityTest, RangePredicateClamped) {
+  StatsEstimator est(&catalog_);
+  Predicate p;
+  p.table = r_;
+  p.column = 1;
+  p.op = CompareOp::kLt;
+  p.value = 1e9;  // beyond max
+  EXPECT_NEAR(est.PredicateSelectivity(p), 1.0, 1e-9);
+  p.value = -5;  // below min: clamped to the positive floor
+  EXPECT_LE(est.PredicateSelectivity(p), 1e-6 + 1e-12);
+}
+
+TEST_F(SelectivityTest, CombinedSelectivityIsProduct) {
+  StatsEstimator est(&catalog_);
+  Predicate a;
+  a.table = r_;
+  a.column = 1;
+  a.op = CompareOp::kLt;
+  a.value = 50;  // 0.5
+  Predicate b;
+  b.table = s_;
+  b.column = 1;
+  b.op = CompareOp::kEq;
+  b.value = 3;  // 0.1
+  EXPECT_NEAR(est.CombinedSelectivity({a, b}), 0.05, 1e-12);
+}
+
+TEST_F(SelectivityTest, JoinCardinalityContainment) {
+  StatsEstimator est(&catalog_);
+  TableSet both;
+  both.Add(r_);
+  both.Add(s_);
+  // |R ⋈ S| = |R| * |S| / max(V(R,uid), V(S,uid)) = 1000*5000/1000 = 5000.
+  EXPECT_NEAR(est.Cardinality(ViewKey(both)), 5000.0, 1e-6);
+}
+
+TEST_F(SelectivityTest, SingleTableCardinality) {
+  StatsEstimator est(&catalog_);
+  EXPECT_NEAR(est.Cardinality(ViewKey(TableSet::Of(r_))), 1000.0, 1e-9);
+}
+
+TEST_F(SelectivityTest, PredicateScalesCardinality) {
+  StatsEstimator est(&catalog_);
+  Predicate p;
+  p.table = r_;
+  p.column = 1;
+  p.op = CompareOp::kLt;
+  p.value = 10;  // 0.1
+  EXPECT_NEAR(est.Cardinality(ViewKey(TableSet::Of(r_), {p})), 100.0, 1e-6);
+}
+
+TEST_F(SelectivityTest, DeltaRateScalesWithFanout) {
+  StatsEstimator est(&catalog_);
+  TableSet both;
+  both.Add(r_);
+  both.Add(s_);
+  // view card 5000; an R update touches 5000/1000 = 5 outputs; an S update
+  // 5000/5000 = 1. rate = 10*5 + 50*1 = 100.
+  EXPECT_NEAR(est.DeltaRate(ViewKey(both)), 100.0, 1e-6);
+}
+
+TEST_F(SelectivityTest, TupleBytesAdds) {
+  StatsEstimator est(&catalog_);
+  TableSet both;
+  both.Add(r_);
+  both.Add(s_);
+  EXPECT_NEAR(est.TupleBytes(both), 80.0, 1e-9);
+}
+
+TEST_F(SelectivityTest, CacheInvalidation) {
+  StatsEstimator est(&catalog_);
+  const ViewKey key(TableSet::Of(r_));
+  EXPECT_NEAR(est.Cardinality(key), 1000.0, 1e-9);
+  catalog_.mutable_table(r_).stats.cardinality = 2000;
+  EXPECT_NEAR(est.Cardinality(key), 1000.0, 1e-9);  // stale (memoized)
+  est.InvalidateCache();
+  EXPECT_NEAR(est.Cardinality(key), 2000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dsm

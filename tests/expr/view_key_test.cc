@@ -1,0 +1,74 @@
+#include "expr/view_key.h"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+Predicate P(TableId t, double v) {
+  Predicate p;
+  p.table = t;
+  p.column = 0;
+  p.op = CompareOp::kEq;
+  p.value = v;
+  return p;
+}
+
+TableSet TS(std::initializer_list<TableId> ids) {
+  TableSet s;
+  for (const TableId id : ids) s.Add(id);
+  return s;
+}
+
+TEST(ViewKeyTest, OrderIndependentIdentity) {
+  // (ab)c and a(bc) produce the same data: identity is the table set.
+  const ViewKey k1(TS({0, 1, 2}));
+  const ViewKey k2(TS({2, 1, 0}));
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(ViewKeyHash()(k1), ViewKeyHash()(k2));
+}
+
+TEST(ViewKeyTest, PredicateOrderNormalized) {
+  const ViewKey k1(TS({0, 1}), {P(0, 1.0), P(1, 2.0)});
+  const ViewKey k2(TS({0, 1}), {P(1, 2.0), P(0, 1.0)});
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(ViewKeyHash()(k1), ViewKeyHash()(k2));
+}
+
+TEST(ViewKeyTest, DifferentPredicatesDiffer) {
+  const ViewKey k1(TS({0, 1}), {P(0, 1.0)});
+  const ViewKey k2(TS({0, 1}), {P(0, 2.0)});
+  EXPECT_FALSE(k1 == k2);
+}
+
+TEST(ViewKeyTest, SubsumptionRequiresSameTables) {
+  const ViewKey wide(TS({0, 1}));
+  const ViewKey other(TS({0, 2}));
+  EXPECT_FALSE(wide.Subsumes(other));
+}
+
+TEST(ViewKeyTest, UnpredicatedSubsumesPredicated) {
+  // The full join result can serve any filtered version of itself
+  // (Example 1.1: reuse the join, add "city = Seattle" on top).
+  const ViewKey full(TS({0, 1}));
+  const ViewKey filtered(TS({0, 1}), {P(0, 1.0)});
+  EXPECT_TRUE(full.Subsumes(filtered));
+  EXPECT_FALSE(filtered.Subsumes(full));
+  EXPECT_TRUE(full.Subsumes(full));
+  EXPECT_TRUE(filtered.Subsumes(filtered));
+}
+
+TEST(ViewKeyTest, PartialPredicateSubsumption) {
+  const ViewKey one(TS({0, 1}), {P(0, 1.0)});
+  const ViewKey two(TS({0, 1}), {P(0, 1.0), P(1, 2.0)});
+  EXPECT_TRUE(one.Subsumes(two));
+  EXPECT_FALSE(two.Subsumes(one));
+}
+
+TEST(ViewKeyTest, UnpredicatedFlag) {
+  EXPECT_TRUE(ViewKey(TS({0})).unpredicated());
+  EXPECT_FALSE(ViewKey(TS({0}), {P(0, 1.0)}).unpredicated());
+}
+
+}  // namespace
+}  // namespace dsm

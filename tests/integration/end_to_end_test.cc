@@ -1,0 +1,204 @@
+// Integration tests across the whole stack: Twitter workload -> online
+// planning -> global plan -> fair costing, plus planner/costing/maintenance
+// interplay on realistic sequences.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cost/default_cost_model.h"
+#include "costing/even_split.h"
+#include "costing/fairness_metrics.h"
+#include "costing/lpc.h"
+#include "costing/savings.h"
+#include "maintain/delta_engine.h"
+#include "online/greedy.h"
+#include "online/managed_risk.h"
+#include "online/normalize.h"
+#include "workload/twitter.h"
+
+namespace dsm {
+namespace {
+
+struct TwitterRig {
+  Catalog catalog;
+  Cluster cluster;
+  TwitterTables tables;
+  std::unique_ptr<JoinGraph> graph;
+  std::unique_ptr<DefaultCostModel> model;
+  std::unique_ptr<PlanEnumerator> enumerator;
+  std::unique_ptr<GlobalPlan> global_plan;
+  PlannerContext ctx;
+};
+
+std::unique_ptr<TwitterRig> MakeTwitterRig(size_t num_machines = 6) {
+  auto rig = std::make_unique<TwitterRig>();
+  const auto tables = BuildTwitterCatalog(&rig->catalog);
+  EXPECT_TRUE(tables.ok());
+  rig->tables = *tables;
+  for (size_t i = 0; i < num_machines; ++i) {
+    rig->cluster.AddServer("m" + std::to_string(i));
+  }
+  rig->cluster.PlaceRoundRobin(rig->catalog.num_tables());
+  rig->graph =
+      std::make_unique<JoinGraph>(JoinGraph::FromCatalog(rig->catalog));
+  rig->model =
+      std::make_unique<DefaultCostModel>(&rig->catalog, &rig->cluster);
+  rig->enumerator = std::make_unique<PlanEnumerator>(
+      &rig->catalog, &rig->cluster, rig->graph.get(), rig->model.get(),
+      EnumeratorOptions{});
+  rig->global_plan =
+      std::make_unique<GlobalPlan>(&rig->cluster, rig->model.get());
+  rig->ctx.catalog = &rig->catalog;
+  rig->ctx.cluster = &rig->cluster;
+  rig->ctx.graph = rig->graph.get();
+  rig->ctx.model = rig->model.get();
+  rig->ctx.global_plan = rig->global_plan.get();
+  rig->ctx.enumerator = rig->enumerator.get();
+  return rig;
+}
+
+std::vector<Sharing> Sequence(const TwitterRig& rig, size_t n,
+                              int max_preds, uint64_t seed) {
+  TwitterSequenceOptions options;
+  options.num_sharings = n;
+  options.max_predicates = max_preds;
+  options.seed = seed;
+  return GenerateTwitterSequence(rig.catalog, rig.tables, rig.cluster,
+                                 options);
+}
+
+TEST(EndToEndTest, AllTwitterBaseSharingsPlannable) {
+  auto rig = MakeTwitterRig();
+  ManagedRiskPlanner planner(rig->ctx);
+  for (const Sharing& s : TwitterBaseSharings(rig->tables, rig->cluster)) {
+    const auto choice = planner.ProcessSharing(s);
+    ASSERT_TRUE(choice.ok()) << s.ToString(rig->catalog) << ": "
+                             << choice.status().ToString();
+    EXPECT_GE(choice->marginal_cost, 0.0);
+  }
+  EXPECT_EQ(rig->global_plan->num_sharings(), 25u);
+  EXPECT_GT(rig->global_plan->TotalCost(), 0.0);
+}
+
+TEST(EndToEndTest, ReuseMakesGlobalPlanSublinear) {
+  // 30 sharings drawn from 25 bases share many subexpressions: the global
+  // plan must cost less than the sum of standalone plans.
+  auto rig = MakeTwitterRig();
+  ManagedRiskPlanner planner(rig->ctx);
+  double standalone_sum = 0.0;
+  for (const Sharing& s : Sequence(*rig, 30, 0, 17)) {
+    const auto choice = planner.ProcessSharing(s);
+    ASSERT_TRUE(choice.ok());
+    standalone_sum += PlanCost(choice->plan, rig->model.get());
+  }
+  EXPECT_LT(rig->global_plan->TotalCost(), 0.8 * standalone_sum);
+}
+
+TEST(EndToEndTest, FairCostBeatsEvenSplitOnFairness) {
+  // The Figure 7 comparison in miniature: FAIRCOST achieves metric 1.0
+  // everywhere; the even-split baseline generally does not.
+  auto rig = MakeTwitterRig();
+  ManagedRiskPlanner planner(rig->ctx);
+  for (const Sharing& s : Sequence(*rig, 40, 2, 23)) {
+    ASSERT_TRUE(planner.ProcessSharing(s).ok());
+  }
+
+  LpcCalculator lpc(rig->enumerator.get(), rig->model.get());
+  const auto problem = BuildFairCostProblem(*rig->global_plan, &lpc);
+  ASSERT_TRUE(problem.ok());
+
+  const auto fair = FairCost::Compute(problem->entries,
+                                      problem->global_cost);
+  ASSERT_TRUE(fair.ok());
+  const FairnessReport fair_report =
+      EvaluateFairness(problem->entries, problem->global_cost, fair->ac);
+  EXPECT_DOUBLE_EQ(fair_report.lpc_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(fair_report.identical_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(fair_report.contained_fraction, 1.0);
+  EXPECT_NEAR(fair_report.recovery_error, 0.0, 1e-6);
+
+  const auto even = EvenSplitCosts(*rig->global_plan, problem->ids);
+  ASSERT_TRUE(even.ok());
+  const FairnessReport even_report =
+      EvaluateFairness(problem->entries, problem->global_cost, *even);
+  EXPECT_NEAR(even_report.recovery_error, 0.0, 1e-6);
+  EXPECT_GE(fair_report.alpha, even_report.alpha - 1e-9);
+}
+
+TEST(EndToEndTest, AttributedCostsNeverExceedLpc) {
+  auto rig = MakeTwitterRig();
+  GreedyPlanner planner(rig->ctx);
+  for (const Sharing& s : Sequence(*rig, 25, 1, 31)) {
+    ASSERT_TRUE(planner.ProcessSharing(s).ok());
+  }
+  LpcCalculator lpc(rig->enumerator.get(), rig->model.get());
+  const auto problem = BuildFairCostProblem(*rig->global_plan, &lpc);
+  ASSERT_TRUE(problem.ok());
+  const auto fair =
+      FairCost::Compute(problem->entries, problem->global_cost);
+  ASSERT_TRUE(fair.ok());
+  for (size_t i = 0; i < fair->ac.size(); ++i) {
+    EXPECT_LE(fair->ac[i], problem->entries[i].lpc * (1 + 1e-9) + 1e-9);
+  }
+}
+
+TEST(EndToEndTest, ThreePlannersProduceComparableCosts) {
+  // Section 6.2.1: "On average, the global plans generated by the three
+  // algorithms have similar costs" — within a small factor here.
+  std::vector<double> costs;
+  for (int which = 0; which < 3; ++which) {
+    auto rig = MakeTwitterRig();
+    std::unique_ptr<OnlinePlanner> planner;
+    if (which == 0) planner = std::make_unique<GreedyPlanner>(rig->ctx);
+    if (which == 1) planner = std::make_unique<NormalizePlanner>(rig->ctx);
+    if (which == 2) {
+      planner = std::make_unique<ManagedRiskPlanner>(rig->ctx);
+    }
+    for (const Sharing& s : Sequence(*rig, 30, 0, 47)) {
+      ASSERT_TRUE(planner->ProcessSharing(s).ok());
+    }
+    costs.push_back(rig->global_plan->TotalCost());
+  }
+  const double lo = std::min({costs[0], costs[1], costs[2]});
+  const double hi = std::max({costs[0], costs[1], costs[2]});
+  EXPECT_LT(hi / lo, 3.0);
+}
+
+TEST(EndToEndTest, PlannedViewMaintainedByDeltaEngine) {
+  // Close the loop: plan a sharing, then actually maintain its view.
+  auto rig = MakeTwitterRig();
+  ManagedRiskPlanner planner(rig->ctx);
+  const auto base = TwitterBaseSharings(rig->tables, rig->cluster);
+  const Sharing& s5 = base[4];  // USERS ⋈ TWEETS
+  ASSERT_TRUE(planner.ProcessSharing(s5).ok());
+
+  DeltaEngine engine(&rig->catalog);
+  ASSERT_TRUE(engine.RegisterBase(rig->tables.users).ok());
+  ASSERT_TRUE(engine.RegisterBase(rig->tables.tweets).ok());
+  const auto view = engine.RegisterView(s5.ResultKey());
+  ASSERT_TRUE(view.ok());
+
+  Rng rng(71);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine
+                    .ApplyUpdate(rig->tables.users,
+                                 {RandomTwitterTuple(
+                                     rig->catalog, rig->tables.users, &rng)},
+                                 {})
+                    .ok());
+    ASSERT_TRUE(
+        engine
+            .ApplyUpdate(rig->tables.tweets,
+                         {RandomTwitterTuple(rig->catalog,
+                                             rig->tables.tweets, &rng)},
+                         {})
+            .ok());
+  }
+  const auto expected = engine.Recompute(s5.ResultKey());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(engine.view(*view)->BagEquals(*expected));
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,177 @@
+// Round-trip persistence of market state: catalog, cluster, sharings and
+// their exact plans, with the restored global plan matching the saved one
+// node for node and dollar for dollar.
+
+#include "io/market_io.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/default_cost_model.h"
+#include "online/managed_risk.h"
+#include "testing/rig.h"
+#include "workload/adversarial.h"
+#include "workload/twitter.h"
+
+namespace dsm {
+namespace {
+
+using testing_support::MakeRig;
+
+TEST(MarketIoTest, CatalogAndClusterRoundTrip) {
+  Catalog catalog;
+  const auto tables = BuildTwitterCatalog(&catalog);
+  ASSERT_TRUE(tables.ok());
+  Cluster cluster;
+  cluster.AddServer("alpha", 123.5);
+  cluster.AddServer("beta");
+  cluster.PlaceRoundRobin(catalog.num_tables());
+
+  const auto text = MarketStateToString(catalog, cluster, nullptr);
+  ASSERT_TRUE(text.ok());
+  const auto state = MarketStateFromString(*text);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+
+  ASSERT_EQ(state->catalog.num_tables(), catalog.num_tables());
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    const TableDef& a = catalog.table(t);
+    const TableDef& b = state->catalog.table(t);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_DOUBLE_EQ(a.stats.cardinality, b.stats.cardinality);
+    EXPECT_DOUBLE_EQ(a.stats.update_rate, b.stats.update_rate);
+    ASSERT_EQ(a.columns.size(), b.columns.size());
+    for (size_t c = 0; c < a.columns.size(); ++c) {
+      EXPECT_EQ(a.columns[c].name, b.columns[c].name);
+      EXPECT_DOUBLE_EQ(a.columns[c].distinct_values,
+                       b.columns[c].distinct_values);
+    }
+    EXPECT_EQ(*state->cluster.HomeOf(t), *cluster.HomeOf(t));
+  }
+  ASSERT_EQ(state->cluster.num_servers(), 2u);
+  EXPECT_EQ(state->cluster.server(0).name, "alpha");
+  EXPECT_DOUBLE_EQ(state->cluster.server(0).capacity_tuples_per_unit,
+                   123.5);
+}
+
+TEST(MarketIoTest, NamesWithSpacesEscape) {
+  Catalog catalog;
+  TableDef def;
+  def.name = "my table";
+  ColumnDef col;
+  col.name = "a col";
+  def.columns = {col};
+  ASSERT_TRUE(catalog.AddTable(def).ok());
+  Cluster cluster;
+  cluster.AddServer("rack 1 / server 2");
+  cluster.PlaceRoundRobin(1);
+
+  const auto text = MarketStateToString(catalog, cluster, nullptr);
+  ASSERT_TRUE(text.ok());
+  const auto state = MarketStateFromString(*text);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->catalog.table(0).name, "my table");
+  EXPECT_EQ(state->catalog.table(0).columns[0].name, "a col");
+  EXPECT_EQ(state->cluster.server(0).name, "rack 1 / server 2");
+}
+
+TEST(MarketIoTest, GlobalPlanRoundTripPreservesCost) {
+  const Scenario sc = MakeGreedyTrap(6, 20.0, 10.0, 1e-3);
+  auto rig = MakeRig(sc);
+  ManagedRiskPlanner planner(rig.ctx);
+  for (const Sharing& sharing : sc.sharings) {
+    ASSERT_TRUE(planner.ProcessSharing(sharing).ok());
+  }
+  const double original_cost = rig.global_plan->TotalCost();
+  const size_t original_views = rig.global_plan->num_alive_views();
+
+  const auto text =
+      MarketStateToString(*sc.catalog, *sc.cluster, rig.global_plan.get());
+  ASSERT_TRUE(text.ok());
+  const auto state = MarketStateFromString(*text);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  ASSERT_EQ(state->sharings.size(), sc.sharings.size());
+
+  // Replay into a fresh global plan over the same cost model.
+  GlobalPlan restored(sc.cluster.get(), sc.model.get());
+  ASSERT_TRUE(RestoreGlobalPlan(*state, &restored).ok());
+  EXPECT_NEAR(restored.TotalCost(), original_cost, 1e-9);
+  EXPECT_EQ(restored.num_alive_views(), original_views);
+  for (const SharingId id : rig.global_plan->sharing_ids()) {
+    EXPECT_NEAR(restored.GPC(id), rig.global_plan->GPC(id), 1e-9);
+  }
+}
+
+TEST(MarketIoTest, PredicatedSharingsRoundTrip) {
+  Catalog catalog;
+  const auto tables = BuildTwitterCatalog(&catalog);
+  ASSERT_TRUE(tables.ok());
+  Cluster cluster;
+  for (int i = 0; i < 3; ++i) cluster.AddServer("m" + std::to_string(i));
+  cluster.PlaceRoundRobin(catalog.num_tables());
+  const JoinGraph graph = JoinGraph::FromCatalog(catalog);
+  DefaultCostModel model(&catalog, &cluster);
+  PlanEnumerator enumerator(&catalog, &cluster, &graph, &model, {});
+  GlobalPlan gp(&cluster, &model);
+  PlannerContext ctx{&catalog, &cluster, &graph, &model, &gp, &enumerator};
+  ManagedRiskPlanner planner(ctx);
+
+  TwitterSequenceOptions options;
+  options.num_sharings = 8;
+  options.max_predicates = 2;
+  options.seed = 99;
+  for (const Sharing& sharing :
+       GenerateTwitterSequence(catalog, *tables, cluster, options)) {
+    ASSERT_TRUE(planner.ProcessSharing(sharing).ok());
+  }
+
+  const auto text = MarketStateToString(catalog, cluster, &gp);
+  ASSERT_TRUE(text.ok());
+  const auto state = MarketStateFromString(*text);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+
+  GlobalPlan restored(&cluster, &model);
+  ASSERT_TRUE(RestoreGlobalPlan(*state, &restored).ok());
+  EXPECT_NEAR(restored.TotalCost(), gp.TotalCost(), 1e-9);
+
+  // Predicates survived (queries stay identical).
+  for (size_t i = 0; i < state->sharings.size(); ++i) {
+    const SharingId id = state->sharings[i].id;
+    EXPECT_TRUE(state->sharings[i].sharing.IdenticalTo(
+        gp.record(id)->sharing));
+    EXPECT_EQ(state->sharings[i].sharing.destination(),
+              gp.record(id)->sharing.destination());
+  }
+}
+
+TEST(MarketIoTest, RejectsGarbage) {
+  EXPECT_FALSE(MarketStateFromString("not a market\n").ok());
+  EXPECT_FALSE(
+      MarketStateFromString("dsm-market v1\nbogus record\n").ok());
+  EXPECT_FALSE(MarketStateFromString(
+                   "dsm-market v1\ncol orphan i64 1 0 1\n")
+                   .ok());
+}
+
+TEST(MarketIoTest, TruncatedPlanRejected) {
+  const std::string text =
+      "dsm-market v1\n"
+      "server s0 1e30\n"
+      "sharing 1 0 buyer 3 0\n"
+      "plan 2\n"
+      "node 0 0 -1 -1 0 1 0\n";  // one node missing
+  EXPECT_FALSE(MarketStateFromString(text).ok());
+}
+
+TEST(MarketIoTest, RestoreRequiresEmptyPlan) {
+  const Scenario sc = MakeGreedyTrap(1);
+  auto rig = MakeRig(sc);
+  const auto plans = rig.enumerator->Enumerate(sc.sharings[0]);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_TRUE(
+      rig.global_plan->AddSharing(1, sc.sharings[0], plans->front()).ok());
+  MarketState state;
+  EXPECT_EQ(RestoreGlobalPlan(state, rig.global_plan.get()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dsm

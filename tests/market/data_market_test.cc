@@ -1,0 +1,210 @@
+#include "market/data_market.h"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+TableDef MakeTable(const std::string& name,
+                   std::initializer_list<const char*> cols,
+                   double cardinality = 1000) {
+  TableDef def;
+  def.name = name;
+  for (const char* c : cols) {
+    ColumnDef col;
+    col.name = c;
+    col.distinct_values = cardinality;
+    col.min_value = 0;
+    col.max_value = cardinality;
+    def.columns.push_back(col);
+  }
+  def.stats.cardinality = cardinality;
+  def.stats.update_rate = 10;
+  return def;
+}
+
+class DataMarketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s0_ = market_.AddServer("s0");
+    s1_ = market_.AddServer("s1");
+    ASSERT_TRUE(
+        market_.RegisterTable(MakeTable("CHK", {"uid", "rid"}), s0_, 5.0)
+            .ok());
+    ASSERT_TRUE(
+        market_.RegisterTable(MakeTable("RES", {"rid", "city"}), s1_, 3.0)
+            .ok());
+    ASSERT_TRUE(
+        market_.RegisterTable(MakeTable("REV", {"rid", "stars"}), s0_, 2.0)
+            .ok());
+  }
+
+  DataMarket market_;
+  ServerId s0_ = 0, s1_ = 0;
+};
+
+TEST_F(DataMarketTest, SubmitAndCost) {
+  const auto receipt =
+      market_.SubmitSharing({"CHK", "RES", "REV"}, {}, s0_, "buyer1");
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_GT(receipt->marginal_cost, 0.0);
+  EXPECT_EQ(market_.num_sharings(), 1u);
+
+  const auto report = market_.ComputeCosts();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->sharings.size(), 1u);
+  const auto& cost = report->sharings[0];
+  EXPECT_NEAR(cost.attributed_cost, report->total_cost, 1e-9);
+  EXPECT_LE(cost.attributed_cost, cost.lpc + 1e-9);
+  EXPECT_NEAR(cost.data_value, 10.0, 1e-9);  // 5 + 3 + 2
+  EXPECT_NEAR(cost.price, 10.0 + 1.2 * cost.attributed_cost, 1e-9);
+}
+
+TEST_F(DataMarketTest, SeattleFilterScenario) {
+  // Example 1.1: buyer 2's filtered sharing reuses buyer 1's join and
+  // must not be attributed more than buyer 1.
+  const auto b1 =
+      market_.SubmitSharing({"CHK", "RES", "REV"}, {}, s0_, "buyer1");
+  ASSERT_TRUE(b1.ok());
+
+  Predicate city;
+  city.table = *market_.catalog().FindTable("RES");
+  city.column = 1;
+  city.op = CompareOp::kEq;
+  city.value = 42;  // "city = Seattle"
+  const auto b2 = market_.SubmitSharing({"CHK", "RES", "REV"}, {city}, s1_,
+                                        "buyer2");
+  ASSERT_TRUE(b2.ok());
+  // The filtered sharing mostly reuses buyer 1's views.
+  EXPECT_LT(b2->marginal_cost, b1->marginal_cost);
+
+  const auto report = market_.ComputeCosts();
+  ASSERT_TRUE(report.ok());
+  double ac1 = 0, ac2 = 0;
+  for (const auto& c : report->sharings) {
+    if (c.buyer == "buyer1") ac1 = c.attributed_cost;
+    if (c.buyer == "buyer2") ac2 = c.attributed_cost;
+  }
+  EXPECT_LE(ac2, ac1 + 1e-9);
+  EXPECT_NEAR(ac1 + ac2, report->total_cost, 1e-6);
+}
+
+TEST_F(DataMarketTest, IdenticalSharingsGetEqualCosts) {
+  ASSERT_TRUE(
+      market_.SubmitSharing({"CHK", "RES"}, {}, s0_, "buyer1").ok());
+  ASSERT_TRUE(
+      market_.SubmitSharing({"CHK", "RES"}, {}, s0_, "buyer2").ok());
+  const auto report = market_.ComputeCosts();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->sharings.size(), 2u);
+  EXPECT_NEAR(report->sharings[0].attributed_cost,
+              report->sharings[1].attributed_cost, 1e-9);
+}
+
+TEST_F(DataMarketTest, CancelSharingFreesCost) {
+  const auto receipt =
+      market_.SubmitSharing({"CHK", "RES"}, {}, s0_, "buyer1");
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_GT(market_.TotalOperationalCost(), 0.0);
+  ASSERT_TRUE(market_.CancelSharing(receipt->id).ok());
+  EXPECT_NEAR(market_.TotalOperationalCost(), 0.0, 1e-12);
+  EXPECT_EQ(market_.CancelSharing(receipt->id).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DataMarketTest, UnknownTableRejected) {
+  EXPECT_EQ(
+      market_.SubmitSharing({"CHK", "NOPE"}, {}, s0_, "b").status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(DataMarketTest, UnknownDestinationRejected) {
+  EXPECT_EQ(
+      market_.SubmitSharing({"CHK"}, {}, 9, "b").status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataMarketTest, PredicateOutsideSharingRejected) {
+  Predicate p;
+  p.table = *market_.catalog().FindTable("REV");
+  EXPECT_EQ(market_.SubmitSharing({"CHK", "RES"}, {p}, s0_, "b")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataMarketTest, TableRegistrationFrozenAfterFirstSharing) {
+  ASSERT_TRUE(market_.SubmitSharing({"CHK", "RES"}, {}, s0_, "b").ok());
+  EXPECT_EQ(
+      market_.RegisterTable(MakeTable("LATE", {"x"}), s0_).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataMarketTest, CostsBeforeAnySharingRejected) {
+  EXPECT_EQ(market_.ComputeCosts().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataMarketTest, ReplanExistingSharingsNeverRegresses) {
+  ASSERT_TRUE(
+      market_.SubmitSharing({"CHK", "RES", "REV"}, {}, s0_, "b1").ok());
+  ASSERT_TRUE(market_.SubmitSharing({"CHK", "RES"}, {}, s1_, "b2").ok());
+  const double before = market_.TotalOperationalCost();
+  const auto report = market_.ReplanExistingSharings();
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->cost_after, before + 1e-12);
+  EXPECT_NEAR(market_.TotalOperationalCost(), report->cost_after, 1e-12);
+}
+
+TEST_F(DataMarketTest, ReplanWithoutSharingsRejected) {
+  EXPECT_EQ(market_.ReplanExistingSharings().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DataMarketOwnerTest, OwnerRevenueAggregated) {
+  DataMarket market;
+  const ServerId s0 = market.AddServer("s0");
+  ASSERT_TRUE(market
+                  .RegisterTable(MakeTable("A", {"k"}), s0,
+                                 /*data_value=*/5.0, "alice")
+                  .ok());
+  ASSERT_TRUE(market
+                  .RegisterTable(MakeTable("B", {"k"}), s0,
+                                 /*data_value=*/3.0, "bob")
+                  .ok());
+  ASSERT_TRUE(market
+                  .RegisterTable(MakeTable("C", {"k"}), s0,
+                                 /*data_value=*/2.0, "alice")
+                  .ok());
+  // Two sharings: {A,B} and {A,B,C}. alice earns 5+5+2 = 12; bob 3+3 = 6.
+  ASSERT_TRUE(market.SubmitSharing({"A", "B"}, {}, s0, "x").ok());
+  ASSERT_TRUE(market.SubmitSharing({"A", "B", "C"}, {}, s0, "y").ok());
+  const auto report = market.ComputeCosts();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->owner_revenue.size(), 2u);
+  double alice = 0, bob = 0;
+  for (const auto& r : report->owner_revenue) {
+    if (r.owner == "alice") alice = r.revenue;
+    if (r.owner == "bob") bob = r.revenue;
+  }
+  EXPECT_NEAR(alice, 12.0, 1e-9);
+  EXPECT_NEAR(bob, 6.0, 1e-9);
+}
+
+TEST(DataMarketConfigTest, GreedyPlannerSelectable) {
+  DataMarketOptions options;
+  options.planner = DataMarketOptions::Planner::kGreedy;
+  DataMarket market(options);
+  const ServerId s0 = market.AddServer("s0");
+  ASSERT_TRUE(market.RegisterTable(MakeTable("A", {"k"}), s0).ok());
+  ASSERT_TRUE(market.RegisterTable(MakeTable("B", {"k"}), s0).ok());
+  EXPECT_TRUE(market.SubmitSharing({"A", "B"}, {}, s0, "b").ok());
+}
+
+TEST(DataMarketConfigTest, NoServersRejected) {
+  DataMarket market;
+  EXPECT_FALSE(market.SubmitSharing({"A"}, {}, 0, "b").ok());
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,95 @@
+#include "market/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/twitter.h"
+
+namespace dsm {
+namespace {
+
+TableSet TS(std::initializer_list<TableId> ids) {
+  TableSet s;
+  for (const TableId id : ids) s.Add(id);
+  return s;
+}
+
+class SimulationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto tables = BuildTwitterCatalog(&catalog_);
+    ASSERT_TRUE(tables.ok());
+    tables_ = *tables;
+  }
+
+  Catalog catalog_;
+  TwitterTables tables_;
+};
+
+TEST_F(SimulationTest, RandomTupleMatchesSchema) {
+  Rng rng(5);
+  const Tuple t = RandomTupleForTable(catalog_, tables_.users, &rng);
+  EXPECT_EQ(t.size(), catalog_.table(tables_.users).columns.size());
+}
+
+TEST_F(SimulationTest, ViewsStayFreshUnderStreaming) {
+  MarketSimulation sim(&catalog_, 77);
+  ASSERT_TRUE(
+      sim.AddBuyerView(1, ViewKey(TS({tables_.users, tables_.tweets})))
+          .ok());
+  ASSERT_TRUE(
+      sim.AddBuyerView(2, ViewKey(TS({tables_.tweets, tables_.curloc})))
+          .ok());
+  ASSERT_TRUE(sim.Run(/*ticks=*/5, /*scale=*/0.05).ok());
+  EXPECT_GT(sim.updates_applied(), 0u);
+  EXPECT_EQ(sim.ticks_elapsed(), 5);
+  const auto verified = sim.VerifyViews();
+  ASSERT_TRUE(verified.ok());
+  EXPECT_TRUE(*verified);
+}
+
+TEST_F(SimulationTest, DeletesHandled) {
+  MarketSimulation sim(&catalog_, 78);
+  ASSERT_TRUE(
+      sim.AddBuyerView(1, ViewKey(TS({tables_.users, tables_.tweets})))
+          .ok());
+  ASSERT_TRUE(sim.Run(/*ticks=*/8, /*scale=*/0.03,
+                      /*delete_fraction=*/0.5)
+                  .ok());
+  const auto verified = sim.VerifyViews();
+  ASSERT_TRUE(verified.ok());
+  EXPECT_TRUE(*verified);
+  // Bases never go negative.
+  for (const TableId t : {tables_.users, tables_.tweets}) {
+    for (const auto& [tuple, count] : sim.engine().base(t)->rows()) {
+      EXPECT_GT(count, 0);
+    }
+  }
+}
+
+TEST_F(SimulationTest, DuplicateBuyerViewRejected) {
+  MarketSimulation sim(&catalog_, 79);
+  const ViewKey key(TS({tables_.users, tables_.tweets}));
+  ASSERT_TRUE(sim.AddBuyerView(1, key).ok());
+  EXPECT_EQ(sim.AddBuyerView(1, key).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(SimulationTest, ViewSizeReporting) {
+  MarketSimulation sim(&catalog_, 80);
+  ASSERT_TRUE(
+      sim.AddBuyerView(7, ViewKey(TS({tables_.users, tables_.tweets})))
+          .ok());
+  EXPECT_EQ(sim.ViewSize(7), 0);
+  EXPECT_EQ(sim.ViewSize(99), -1);
+}
+
+TEST_F(SimulationTest, ZeroScaleAppliesNothing) {
+  MarketSimulation sim(&catalog_, 81);
+  ASSERT_TRUE(
+      sim.AddBuyerView(1, ViewKey(TS({tables_.users, tables_.tweets})))
+          .ok());
+  ASSERT_TRUE(sim.Run(3, 0.0).ok());
+  EXPECT_EQ(sim.updates_applied(), 0u);
+}
+
+}  // namespace
+}  // namespace dsm

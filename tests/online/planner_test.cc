@@ -1,0 +1,135 @@
+// Behaviour shared by all online planners: the identical-sharing fast
+// path, capacity-aware plan selection and rejection (Algorithm 2), and
+// NORMALIZE's occurrence counting.
+
+#include <gtest/gtest.h>
+
+#include "online/greedy.h"
+#include "online/managed_risk.h"
+#include "online/normalize.h"
+#include "testing/rig.h"
+#include "workload/adversarial.h"
+
+namespace dsm {
+namespace {
+
+using testing_support::MakeRig;
+
+TableSet TS(std::initializer_list<TableId> ids) {
+  TableSet s;
+  for (const TableId id : ids) s.Add(id);
+  return s;
+}
+
+TEST(OnlinePlannerTest, AssignsIncreasingIds) {
+  const Scenario sc = MakeGreedyTrap(3);
+  auto rig = MakeRig(sc);
+  GreedyPlanner planner(rig.ctx);
+  for (size_t i = 0; i < sc.sharings.size(); ++i) {
+    const auto choice = planner.ProcessSharing(sc.sharings[i]);
+    ASSERT_TRUE(choice.ok());
+    EXPECT_EQ(choice->id, i + 1);
+  }
+}
+
+TEST(OnlinePlannerTest, IdenticalSharingFastPath) {
+  const Scenario sc = MakeGreedyTrap(2);
+  auto rig = MakeRig(sc);
+  GreedyPlanner planner(rig.ctx);
+  const auto first = planner.ProcessSharing(sc.sharings[0]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->reused_identical);
+
+  const auto second = planner.ProcessSharing(sc.sharings[0]);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->reused_identical);
+  EXPECT_NEAR(second->marginal_cost, 0.0, 1e-9);
+}
+
+TEST(OnlinePlannerTest, SameQueryDifferentDestinationNotFastPathed) {
+  Scenario sc = MakeGreedyTrap(1);
+  sc.cluster->AddServer("s1");
+  auto rig = MakeRig(sc);
+  GreedyPlanner planner(rig.ctx);
+  ASSERT_TRUE(planner.ProcessSharing(sc.sharings[0]).ok());
+  const Sharing moved(sc.sharings[0].tables(), {}, /*destination=*/1,
+                      "other");
+  const auto choice = planner.ProcessSharing(moved);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_FALSE(choice->reused_identical);
+}
+
+TEST(OnlinePlannerTest, GreedyPicksCheapestMarginalPlan) {
+  const Scenario sc = MakeGreedyTrap(1, /*risky_cost=*/100.0,
+                                     /*alt_cost=*/10.0, 1e-3);
+  auto rig = MakeRig(sc);
+  GreedyPlanner planner(rig.ctx);
+  const auto choice = planner.ProcessSharing(sc.sharings[0]);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_NEAR(choice->marginal_cost, 10.0, 1e-6);
+  EXPECT_EQ(choice->plans_considered, 2u);
+}
+
+TEST(OnlinePlannerTest, CapacityForcesSecondBestPlan) {
+  // One server too small for anything: rejection (Algorithm 2's branch).
+  Scenario sc = MakeGreedyTrap(1);
+  sc.cluster->mutable_server(0).capacity_tuples_per_unit = 0.5;
+  auto rig = MakeRig(sc);
+  GreedyPlanner planner(rig.ctx);
+  const auto choice = planner.ProcessSharing(sc.sharings[0]);
+  EXPECT_EQ(choice.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(OnlinePlannerTest, CapacityRejectionLeavesGlobalPlanUntouched) {
+  Scenario sc = MakeGreedyTrap(1);
+  sc.cluster->mutable_server(0).capacity_tuples_per_unit = 0.5;
+  auto rig = MakeRig(sc);
+  ManagedRiskPlanner planner(rig.ctx);
+  ASSERT_FALSE(planner.ProcessSharing(sc.sharings[0]).ok());
+  EXPECT_DOUBLE_EQ(rig.global_plan->TotalCost(), 0.0);
+  EXPECT_EQ(rig.global_plan->num_sharings(), 0u);
+}
+
+TEST(OnlinePlannerTest, CapacityAdmitsUntilFull) {
+  // Each integrated 3-way join loads the single server with 4 delta
+  // tuples/unit (two joins × two inputs); capacity 10 admits two sharings
+  // (8) and rejects the third (12 > 10).
+  Scenario sc = MakeGreedyTrap(3);
+  sc.cluster->mutable_server(0).capacity_tuples_per_unit = 10.0;
+  auto rig = MakeRig(sc);
+  GreedyPlanner planner(rig.ctx);
+  EXPECT_TRUE(planner.ProcessSharing(sc.sharings[0]).ok());
+  EXPECT_TRUE(planner.ProcessSharing(sc.sharings[1]).ok());
+  EXPECT_EQ(planner.ProcessSharing(sc.sharings[2]).status().code(),
+            StatusCode::kCapacityExceeded);
+}
+
+TEST(NormalizePlannerTest, CountsContainedSubexpressions) {
+  const Scenario sc = MakeGreedyTrap(3);
+  auto rig = MakeRig(sc);
+  NormalizePlanner planner(rig.ctx);
+  ASSERT_TRUE(planner.ProcessSharing(sc.sharings[0]).ok());
+  ASSERT_TRUE(planner.ProcessSharing(sc.sharings[1]).ok());
+  // ab is contained in both sharings seen so far.
+  EXPECT_EQ(planner.OccurrenceCount(TS({0, 1})), 2);
+  // bc_1 only in the first.
+  EXPECT_EQ(planner.OccurrenceCount(TS({1, 2})), 1);
+  // Never-seen subexpression.
+  EXPECT_EQ(planner.OccurrenceCount(TS({0, 3})), 0);
+}
+
+TEST(OnlinePlannerTest, PlannerNamesAreDistinct) {
+  const Scenario sc = MakeGreedyTrap(1);
+  auto r1 = MakeRig(sc);
+  auto r2 = MakeRig(sc);
+  auto r3 = MakeRig(sc);
+  GreedyPlanner g(r1.ctx);
+  NormalizePlanner n(r2.ctx);
+  ManagedRiskPlanner m(r3.ctx);
+  EXPECT_STREQ(g.name(), "Greedy");
+  EXPECT_STREQ(n.name(), "Normalize");
+  EXPECT_STREQ(m.name(), "ManagedRisk");
+}
+
+}  // namespace
+}  // namespace dsm

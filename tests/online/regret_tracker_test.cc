@@ -1,0 +1,111 @@
+#include "online/regret_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+TableSet TS(std::initializer_list<TableId> ids) {
+  TableSet s;
+  for (const TableId id : ids) s.Add(id);
+  return s;
+}
+
+class RegretTrackerTest : public ::testing::Test {
+ protected:
+  RegretTrackerTest() : graph_(4), tracker_(&graph_) {
+    // Path 0-1-2-3.
+    graph_.AddEdge(0, 1);
+    graph_.AddEdge(1, 2);
+    graph_.AddEdge(2, 3);
+  }
+
+  JoinGraph graph_;
+  RegretTracker tracker_;
+};
+
+TEST_F(RegretTrackerTest, StartsAtZero) {
+  EXPECT_DOUBLE_EQ(tracker_.Pending(TS({0, 1})), 0.0);
+  EXPECT_FALSE(tracker_.Produced(TS({0, 1})));
+}
+
+TEST_F(RegretTrackerTest, ResidualAccruesToContainedSubexpressions) {
+  const Sharing s(TS({0, 1, 2}), {}, 0);
+  tracker_.OnPlanChosen(s, /*marginal_cost=*/10.0, /*consumed_regret=*/0.0,
+                        /*produced_full=*/{TS({1, 2}), TS({0, 1, 2})},
+                        /*produced_partial=*/{});
+  // {0,1} is contained in the sharing and unproduced: it accrues 10.
+  EXPECT_DOUBLE_EQ(tracker_.Pending(TS({0, 1})), 10.0);
+  // Produced sets accrue nothing and report zero regret.
+  EXPECT_DOUBLE_EQ(tracker_.Pending(TS({1, 2})), 0.0);
+  EXPECT_TRUE(tracker_.Produced(TS({1, 2})));
+  // {2,3} is not contained in the sharing.
+  EXPECT_DOUBLE_EQ(tracker_.Pending(TS({2, 3})), 0.0);
+}
+
+TEST_F(RegretTrackerTest, RegretDividesByJoinsMinusOne) {
+  const Sharing s(TS({0, 1, 2}), {}, 0);
+  tracker_.OnPlanChosen(s, 12.0, 0.0, {TS({1, 2}), TS({0, 1, 2})}, {});
+  // #join = 2 -> divisor 1; #join = 3 -> divisor 2.
+  EXPECT_DOUBLE_EQ(tracker_.Regret(TS({0, 1}), 2), 12.0);
+  EXPECT_DOUBLE_EQ(tracker_.Regret(TS({0, 1}), 3), 6.0);
+  // Single-join sharings use divisor 1, not 0.
+  EXPECT_DOUBLE_EQ(tracker_.Regret(TS({0, 1}), 1), 12.0);
+}
+
+TEST_F(RegretTrackerTest, ConsumedRegretReducesResidual) {
+  const Sharing s1(TS({0, 1, 2}), {}, 0);
+  tracker_.OnPlanChosen(s1, 10.0, 0.0, {TS({1, 2}), TS({0, 1, 2})}, {});
+  ASSERT_DOUBLE_EQ(tracker_.Pending(TS({0, 1})), 10.0);
+  // A second sharing pays 12 while consuming the accrued regret of 10 (it
+  // produces {0,1}): residual 2 accrues to the still-unproduced subsets.
+  const Sharing s2(TS({0, 1, 2}), {}, 0);
+  tracker_.OnPlanChosen(s2, 12.0, 10.0, {TS({0, 1})}, {});
+  EXPECT_DOUBLE_EQ(tracker_.Pending(TS({0, 1})), 0.0);
+  EXPECT_TRUE(tracker_.Produced(TS({0, 1})));
+}
+
+TEST_F(RegretTrackerTest, ProductionZeroesRegretForever) {
+  const Sharing s(TS({0, 1, 2}), {}, 0);
+  tracker_.OnPlanChosen(s, 10.0, 0.0, {TS({1, 2}), TS({0, 1, 2})}, {});
+  EXPECT_GT(tracker_.Pending(TS({0, 1})), 0.0);
+  tracker_.MarkProduced(TS({0, 1}));
+  EXPECT_DOUBLE_EQ(tracker_.Pending(TS({0, 1})), 0.0);
+  // Later sharings containing {0,1} no longer accrue regret for it.
+  tracker_.OnPlanChosen(s, 10.0, 0.0, {}, {});
+  EXPECT_DOUBLE_EQ(tracker_.Pending(TS({0, 1})), 0.0);
+}
+
+TEST_F(RegretTrackerTest, PartialProductionScalesPending) {
+  const Sharing s(TS({0, 1, 2}), {}, 0);
+  tracker_.OnPlanChosen(s, 10.0, 0.0, {TS({1, 2}), TS({0, 1, 2})}, {});
+  ASSERT_DOUBLE_EQ(tracker_.Pending(TS({0, 1})), 10.0);
+  // A plan materializes 40% of {0,1}: pending scales by (1 - 0.4) before
+  // the new residual accrues.
+  tracker_.OnPlanChosen(s, 4.0, 0.0, {}, {{TS({0, 1}), 0.4}});
+  EXPECT_DOUBLE_EQ(tracker_.Pending(TS({0, 1})), 10.0 * 0.6 + 4.0);
+}
+
+TEST_F(RegretTrackerTest, PendingSetsListsOnlyUnproduced) {
+  const Sharing s(TS({0, 1, 2}), {}, 0);
+  tracker_.OnPlanChosen(s, 10.0, 0.0, {TS({0, 1, 2})}, {});
+  const auto pending = tracker_.PendingSets();
+  // {0,1} and {1,2} accrued; the produced root didn't.
+  EXPECT_EQ(pending.size(), 2u);
+  for (const auto& [set, value] : pending) {
+    EXPECT_DOUBLE_EQ(value, 10.0);
+    EXPECT_FALSE(tracker_.Produced(set));
+  }
+}
+
+TEST_F(RegretTrackerTest, NegativeResidualAllowed) {
+  // When consumed regret exceeds the marginal cost the residual is
+  // negative, shrinking (not growing) pending regret.
+  const Sharing s(TS({0, 1, 2}), {}, 0);
+  tracker_.OnPlanChosen(s, 10.0, 0.0, {TS({0, 1, 2})}, {});
+  tracker_.OnPlanChosen(s, 1.0, 5.0, {}, {});
+  EXPECT_DOUBLE_EQ(tracker_.Pending(TS({0, 1})), 10.0 - 4.0);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,109 @@
+#include "plan/join_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dsm {
+namespace {
+
+TableSet TS(std::initializer_list<TableId> ids) {
+  TableSet s;
+  for (const TableId id : ids) s.Add(id);
+  return s;
+}
+
+TEST(JoinGraphTest, EdgesAreSymmetric) {
+  JoinGraph g(4);
+  g.AddEdge(0, 2);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(JoinGraphTest, JoinableAcrossSets) {
+  JoinGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  EXPECT_TRUE(g.Joinable(TS({0}), TS({1, 3})));
+  EXPECT_FALSE(g.Joinable(TS({0}), TS({2, 3})));
+  EXPECT_TRUE(g.Joinable(TS({0, 2}), TS({3})));
+}
+
+TEST(JoinGraphTest, ConnectedPath) {
+  JoinGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  EXPECT_TRUE(g.Connected(TS({0, 1, 2, 3})));
+  EXPECT_TRUE(g.Connected(TS({1, 2})));
+  EXPECT_FALSE(g.Connected(TS({0, 2})));   // 1 missing breaks the path
+  EXPECT_FALSE(g.Connected(TS({0, 4})));   // 4 isolated
+  EXPECT_TRUE(g.Connected(TS({4})));       // singleton
+  EXPECT_TRUE(g.Connected(TableSet()));    // empty
+}
+
+TEST(JoinGraphTest, ConnectedSubsetsOfPath) {
+  // Path 0-1-2: connected subsets of size >= 2 are {01},{12},{012}.
+  JoinGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  auto subsets = g.ConnectedSubsets(TS({0, 1, 2}), 2);
+  std::sort(subsets.begin(), subsets.end());
+  ASSERT_EQ(subsets.size(), 3u);
+  EXPECT_EQ(subsets[0], TS({0, 1}));
+  EXPECT_EQ(subsets[1], TS({1, 2}));
+  EXPECT_EQ(subsets[2], TS({0, 1, 2}));
+}
+
+TEST(JoinGraphTest, ConnectedSubsetsOfClique) {
+  JoinGraph g(4);
+  for (TableId a = 0; a < 4; ++a) {
+    for (TableId b = a + 1; b < 4; ++b) g.AddEdge(a, b);
+  }
+  // All 2^4 - 4 - 1 = 11 subsets of size >= 2 are connected in a clique.
+  EXPECT_EQ(g.ConnectedSubsets(TS({0, 1, 2, 3}), 2).size(), 11u);
+}
+
+TEST(JoinGraphTest, ConnectedSubsetsOfStar) {
+  // Star: hub 0, spokes 1..3. Connected subsets of size >= 2 must include
+  // the hub: {01},{02},{03},{012},{013},{023},{0123} = 7.
+  JoinGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_EQ(g.ConnectedSubsets(TS({0, 1, 2, 3}), 2).size(), 7u);
+}
+
+TEST(JoinGraphTest, MinSizeFilter) {
+  JoinGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.ConnectedSubsets(TS({0, 1, 2}), 1).size(), 6u);  // +3 singletons
+  EXPECT_EQ(g.ConnectedSubsets(TS({0, 1, 2}), 3).size(), 1u);
+}
+
+TEST(JoinGraphTest, FromCatalogUsesSharedColumns) {
+  Catalog catalog;
+  auto add = [&catalog](const char* name,
+                        std::initializer_list<const char*> cols) {
+    TableDef def;
+    def.name = name;
+    for (const char* c : cols) {
+      ColumnDef col;
+      col.name = c;
+      def.columns.push_back(col);
+    }
+    return *catalog.AddTable(def);
+  };
+  const TableId users = add("USERS", {"uid"});
+  const TableId tweets = add("TWEETS", {"tid", "uid"});
+  const TableId urls = add("URLS", {"tid"});
+  const JoinGraph g = JoinGraph::FromCatalog(catalog);
+  EXPECT_TRUE(g.HasEdge(users, tweets));
+  EXPECT_TRUE(g.HasEdge(tweets, urls));
+  EXPECT_FALSE(g.HasEdge(users, urls));
+}
+
+}  // namespace
+}  // namespace dsm

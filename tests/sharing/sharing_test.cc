@@ -1,0 +1,94 @@
+#include "sharing/sharing.h"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+Predicate P(TableId t, double v) {
+  Predicate p;
+  p.table = t;
+  p.column = 0;
+  p.op = CompareOp::kLt;
+  p.value = v;
+  return p;
+}
+
+TableSet TS(std::initializer_list<TableId> ids) {
+  TableSet s;
+  for (const TableId id : ids) s.Add(id);
+  return s;
+}
+
+TEST(SharingTest, NumJoins) {
+  EXPECT_EQ(Sharing(TS({0, 1, 2}), {}, 0).NumJoins(), 2);
+  EXPECT_EQ(Sharing(TS({0, 1}), {}, 0).NumJoins(), 1);
+  EXPECT_EQ(Sharing(TS({3}), {}, 0).NumJoins(), 0);
+}
+
+TEST(SharingTest, IdenticalIgnoresDestinationAndBuyer) {
+  const Sharing a(TS({0, 1}), {P(0, 5)}, 0, "alice");
+  const Sharing b(TS({0, 1}), {P(0, 5)}, 3, "bob");
+  EXPECT_TRUE(a.IdenticalTo(b));
+  EXPECT_EQ(a.QueryHash(), b.QueryHash());
+}
+
+TEST(SharingTest, DifferentPredicatesNotIdentical) {
+  const Sharing a(TS({0, 1}), {P(0, 5)}, 0);
+  const Sharing b(TS({0, 1}), {P(0, 6)}, 0);
+  EXPECT_FALSE(a.IdenticalTo(b));
+  EXPECT_NE(a.QueryHash(), b.QueryHash());
+}
+
+TEST(SharingTest, PredicateOrderIrrelevantToIdentity) {
+  const Sharing a(TS({0, 1}), {P(0, 5), P(1, 7)}, 0);
+  const Sharing b(TS({0, 1}), {P(1, 7), P(0, 5)}, 0);
+  EXPECT_TRUE(a.IdenticalTo(b));
+}
+
+TEST(SharingTest, ContainmentViaPredicateSuperset) {
+  // More predicates -> fewer tuples -> contained (Example 1.1's Seattle
+  // filter is contained in the unfiltered sharing).
+  const Sharing filtered(TS({0, 1}), {P(0, 5)}, 0);
+  const Sharing full(TS({0, 1}), {}, 0);
+  EXPECT_TRUE(filtered.ContainedIn(full));
+  EXPECT_FALSE(full.ContainedIn(filtered));
+}
+
+TEST(SharingTest, ContainmentRequiresSameTables) {
+  const Sharing a(TS({0, 1}), {P(0, 5)}, 0);
+  const Sharing b(TS({0, 2}), {}, 0);
+  EXPECT_FALSE(a.ContainedIn(b));
+}
+
+TEST(SharingTest, SelfContainment) {
+  const Sharing a(TS({0, 1}), {P(0, 5)}, 0);
+  EXPECT_TRUE(a.ContainedIn(a));
+}
+
+TEST(SharingTest, ProjectionAffectsIdentity) {
+  Sharing a(TS({0, 1}), {}, 0);
+  Sharing b(TS({0, 1}), {}, 0);
+  b.set_projection({ProjectionColumn{0, 1}});
+  EXPECT_FALSE(a.IdenticalTo(b));
+  EXPECT_NE(a.QueryHash(), b.QueryHash());
+}
+
+TEST(SharingTest, ProjectionNormalized) {
+  Sharing a(TS({0, 1}), {}, 0);
+  a.set_projection({ProjectionColumn{1, 0}, ProjectionColumn{0, 1},
+                    ProjectionColumn{1, 0}});
+  ASSERT_EQ(a.projection().size(), 2u);
+  EXPECT_EQ(a.projection()[0].table, 0u);
+  EXPECT_EQ(a.projection()[1].table, 1u);
+}
+
+TEST(SharingTest, ResultKeyCarriesPredicates) {
+  const Sharing a(TS({0, 1}), {P(0, 5)}, 2);
+  const ViewKey key = a.ResultKey();
+  EXPECT_EQ(key.tables, TS({0, 1}));
+  ASSERT_EQ(key.predicates.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,56 @@
+// Test helper: wires a workload Scenario into a PlannerContext.
+
+#ifndef DSM_TESTS_TESTING_RIG_H_
+#define DSM_TESTS_TESTING_RIG_H_
+
+#include <memory>
+
+#include "globalplan/global_plan.h"
+#include "online/planner.h"
+#include "plan/enumerator.h"
+#include "workload/adversarial.h"
+
+namespace dsm {
+namespace testing_support {
+
+struct Rig {
+  std::unique_ptr<PlanEnumerator> enumerator;
+  std::unique_ptr<GlobalPlan> global_plan;
+  PlannerContext ctx;
+};
+
+inline Rig MakeRig(const Scenario& scenario,
+                   EnumeratorOptions options = {}) {
+  Rig rig;
+  rig.enumerator = std::make_unique<PlanEnumerator>(
+      scenario.catalog.get(), scenario.cluster.get(), scenario.graph.get(),
+      scenario.model.get(), options);
+  rig.global_plan =
+      std::make_unique<GlobalPlan>(scenario.cluster.get(),
+                                   scenario.model.get());
+  rig.ctx.catalog = scenario.catalog.get();
+  rig.ctx.cluster = scenario.cluster.get();
+  rig.ctx.graph = scenario.graph.get();
+  rig.ctx.model = scenario.model.get();
+  rig.ctx.global_plan = rig.global_plan.get();
+  rig.ctx.enumerator = rig.enumerator.get();
+  return rig;
+}
+
+// Feeds the scenario's sharing sequence through `planner`; returns the
+// resulting global plan cost. Rejected sharings are counted, not fatal.
+inline double RunSequence(OnlinePlanner* planner, const Scenario& scenario,
+                          int* rejected = nullptr) {
+  int rejections = 0;
+  for (const Sharing& sharing : scenario.sharings) {
+    const auto choice = planner->ProcessSharing(sharing);
+    if (!choice.ok()) ++rejections;
+  }
+  if (rejected != nullptr) *rejected = rejections;
+  return planner->context().global_plan->TotalCost();
+}
+
+}  // namespace testing_support
+}  // namespace dsm
+
+#endif  // DSM_TESTS_TESTING_RIG_H_
