@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_twitter_time.dir/fig5_twitter_time.cc.o"
+  "CMakeFiles/bench_fig5_twitter_time.dir/fig5_twitter_time.cc.o.d"
+  "bench_fig5_twitter_time"
+  "bench_fig5_twitter_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_twitter_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_exhaustive.dir/table2_exhaustive.cc.o"
+  "CMakeFiles/bench_table2_exhaustive.dir/table2_exhaustive.cc.o.d"
+  "bench_table2_exhaustive"
+  "bench_table2_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_inspect.dir/dsm_inspect.cpp.o"
+  "CMakeFiles/dsm_inspect.dir/dsm_inspect.cpp.o.d"
+  "dsm_inspect"
+  "dsm_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

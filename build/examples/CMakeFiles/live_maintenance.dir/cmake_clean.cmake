@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_maintenance.dir/live_maintenance.cpp.o"
+  "CMakeFiles/live_maintenance.dir/live_maintenance.cpp.o.d"
+  "live_maintenance"
+  "live_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

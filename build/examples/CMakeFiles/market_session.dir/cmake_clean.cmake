@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_session.dir/market_session.cpp.o"
+  "CMakeFiles/market_session.dir/market_session.cpp.o.d"
+  "market_session"
+  "market_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

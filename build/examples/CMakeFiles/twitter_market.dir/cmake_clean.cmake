@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_market.dir/twitter_market.cpp.o"
+  "CMakeFiles/twitter_market.dir/twitter_market.cpp.o.d"
+  "twitter_market"
+  "twitter_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

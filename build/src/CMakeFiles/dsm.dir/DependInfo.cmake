@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/dsm.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/dsm.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/table_def.cc" "src/CMakeFiles/dsm.dir/catalog/table_def.cc.o" "gcc" "src/CMakeFiles/dsm.dir/catalog/table_def.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/dsm.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/dsm.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/dsm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/dsm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dsm.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dsm.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/dsm.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/dsm.dir/common/string_util.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/dsm.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/dsm.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/default_cost_model.cc" "src/CMakeFiles/dsm.dir/cost/default_cost_model.cc.o" "gcc" "src/CMakeFiles/dsm.dir/cost/default_cost_model.cc.o.d"
+  "/root/repo/src/cost/table_cost_model.cc" "src/CMakeFiles/dsm.dir/cost/table_cost_model.cc.o" "gcc" "src/CMakeFiles/dsm.dir/cost/table_cost_model.cc.o.d"
+  "/root/repo/src/costing/containment_dag.cc" "src/CMakeFiles/dsm.dir/costing/containment_dag.cc.o" "gcc" "src/CMakeFiles/dsm.dir/costing/containment_dag.cc.o.d"
+  "/root/repo/src/costing/costing_session.cc" "src/CMakeFiles/dsm.dir/costing/costing_session.cc.o" "gcc" "src/CMakeFiles/dsm.dir/costing/costing_session.cc.o.d"
+  "/root/repo/src/costing/even_split.cc" "src/CMakeFiles/dsm.dir/costing/even_split.cc.o" "gcc" "src/CMakeFiles/dsm.dir/costing/even_split.cc.o.d"
+  "/root/repo/src/costing/fair_cost.cc" "src/CMakeFiles/dsm.dir/costing/fair_cost.cc.o" "gcc" "src/CMakeFiles/dsm.dir/costing/fair_cost.cc.o.d"
+  "/root/repo/src/costing/fairness_metrics.cc" "src/CMakeFiles/dsm.dir/costing/fairness_metrics.cc.o" "gcc" "src/CMakeFiles/dsm.dir/costing/fairness_metrics.cc.o.d"
+  "/root/repo/src/costing/lpc.cc" "src/CMakeFiles/dsm.dir/costing/lpc.cc.o" "gcc" "src/CMakeFiles/dsm.dir/costing/lpc.cc.o.d"
+  "/root/repo/src/costing/savings.cc" "src/CMakeFiles/dsm.dir/costing/savings.cc.o" "gcc" "src/CMakeFiles/dsm.dir/costing/savings.cc.o.d"
+  "/root/repo/src/expr/histogram.cc" "src/CMakeFiles/dsm.dir/expr/histogram.cc.o" "gcc" "src/CMakeFiles/dsm.dir/expr/histogram.cc.o.d"
+  "/root/repo/src/expr/predicate.cc" "src/CMakeFiles/dsm.dir/expr/predicate.cc.o" "gcc" "src/CMakeFiles/dsm.dir/expr/predicate.cc.o.d"
+  "/root/repo/src/expr/selectivity.cc" "src/CMakeFiles/dsm.dir/expr/selectivity.cc.o" "gcc" "src/CMakeFiles/dsm.dir/expr/selectivity.cc.o.d"
+  "/root/repo/src/expr/view_key.cc" "src/CMakeFiles/dsm.dir/expr/view_key.cc.o" "gcc" "src/CMakeFiles/dsm.dir/expr/view_key.cc.o.d"
+  "/root/repo/src/globalplan/global_plan.cc" "src/CMakeFiles/dsm.dir/globalplan/global_plan.cc.o" "gcc" "src/CMakeFiles/dsm.dir/globalplan/global_plan.cc.o.d"
+  "/root/repo/src/io/market_io.cc" "src/CMakeFiles/dsm.dir/io/market_io.cc.o" "gcc" "src/CMakeFiles/dsm.dir/io/market_io.cc.o.d"
+  "/root/repo/src/maintain/delta_engine.cc" "src/CMakeFiles/dsm.dir/maintain/delta_engine.cc.o" "gcc" "src/CMakeFiles/dsm.dir/maintain/delta_engine.cc.o.d"
+  "/root/repo/src/maintain/relation.cc" "src/CMakeFiles/dsm.dir/maintain/relation.cc.o" "gcc" "src/CMakeFiles/dsm.dir/maintain/relation.cc.o.d"
+  "/root/repo/src/maintain/value.cc" "src/CMakeFiles/dsm.dir/maintain/value.cc.o" "gcc" "src/CMakeFiles/dsm.dir/maintain/value.cc.o.d"
+  "/root/repo/src/market/data_market.cc" "src/CMakeFiles/dsm.dir/market/data_market.cc.o" "gcc" "src/CMakeFiles/dsm.dir/market/data_market.cc.o.d"
+  "/root/repo/src/market/simulation.cc" "src/CMakeFiles/dsm.dir/market/simulation.cc.o" "gcc" "src/CMakeFiles/dsm.dir/market/simulation.cc.o.d"
+  "/root/repo/src/online/exhaustive.cc" "src/CMakeFiles/dsm.dir/online/exhaustive.cc.o" "gcc" "src/CMakeFiles/dsm.dir/online/exhaustive.cc.o.d"
+  "/root/repo/src/online/greedy.cc" "src/CMakeFiles/dsm.dir/online/greedy.cc.o" "gcc" "src/CMakeFiles/dsm.dir/online/greedy.cc.o.d"
+  "/root/repo/src/online/managed_risk.cc" "src/CMakeFiles/dsm.dir/online/managed_risk.cc.o" "gcc" "src/CMakeFiles/dsm.dir/online/managed_risk.cc.o.d"
+  "/root/repo/src/online/normalize.cc" "src/CMakeFiles/dsm.dir/online/normalize.cc.o" "gcc" "src/CMakeFiles/dsm.dir/online/normalize.cc.o.d"
+  "/root/repo/src/online/planner.cc" "src/CMakeFiles/dsm.dir/online/planner.cc.o" "gcc" "src/CMakeFiles/dsm.dir/online/planner.cc.o.d"
+  "/root/repo/src/online/regret_tracker.cc" "src/CMakeFiles/dsm.dir/online/regret_tracker.cc.o" "gcc" "src/CMakeFiles/dsm.dir/online/regret_tracker.cc.o.d"
+  "/root/repo/src/online/replanner.cc" "src/CMakeFiles/dsm.dir/online/replanner.cc.o" "gcc" "src/CMakeFiles/dsm.dir/online/replanner.cc.o.d"
+  "/root/repo/src/online/speculative.cc" "src/CMakeFiles/dsm.dir/online/speculative.cc.o" "gcc" "src/CMakeFiles/dsm.dir/online/speculative.cc.o.d"
+  "/root/repo/src/plan/enumerator.cc" "src/CMakeFiles/dsm.dir/plan/enumerator.cc.o" "gcc" "src/CMakeFiles/dsm.dir/plan/enumerator.cc.o.d"
+  "/root/repo/src/plan/explain.cc" "src/CMakeFiles/dsm.dir/plan/explain.cc.o" "gcc" "src/CMakeFiles/dsm.dir/plan/explain.cc.o.d"
+  "/root/repo/src/plan/join_graph.cc" "src/CMakeFiles/dsm.dir/plan/join_graph.cc.o" "gcc" "src/CMakeFiles/dsm.dir/plan/join_graph.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/dsm.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/dsm.dir/plan/plan.cc.o.d"
+  "/root/repo/src/sharing/sharing.cc" "src/CMakeFiles/dsm.dir/sharing/sharing.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sharing/sharing.cc.o.d"
+  "/root/repo/src/workload/adversarial.cc" "src/CMakeFiles/dsm.dir/workload/adversarial.cc.o" "gcc" "src/CMakeFiles/dsm.dir/workload/adversarial.cc.o.d"
+  "/root/repo/src/workload/predicate_gen.cc" "src/CMakeFiles/dsm.dir/workload/predicate_gen.cc.o" "gcc" "src/CMakeFiles/dsm.dir/workload/predicate_gen.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/dsm.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/dsm.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/twitter.cc" "src/CMakeFiles/dsm.dir/workload/twitter.cc.o" "gcc" "src/CMakeFiles/dsm.dir/workload/twitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

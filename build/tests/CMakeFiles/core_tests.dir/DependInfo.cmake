@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/catalog/catalog_test.cc" "tests/CMakeFiles/core_tests.dir/catalog/catalog_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/catalog/catalog_test.cc.o.d"
+  "/root/repo/tests/catalog/table_set_test.cc" "tests/CMakeFiles/core_tests.dir/catalog/table_set_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/catalog/table_set_test.cc.o.d"
+  "/root/repo/tests/cluster/cluster_test.cc" "tests/CMakeFiles/core_tests.dir/cluster/cluster_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/cluster/cluster_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/core_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/core_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/expr/histogram_test.cc" "tests/CMakeFiles/core_tests.dir/expr/histogram_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/expr/histogram_test.cc.o.d"
+  "/root/repo/tests/expr/predicate_test.cc" "tests/CMakeFiles/core_tests.dir/expr/predicate_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/expr/predicate_test.cc.o.d"
+  "/root/repo/tests/expr/selectivity_test.cc" "tests/CMakeFiles/core_tests.dir/expr/selectivity_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/expr/selectivity_test.cc.o.d"
+  "/root/repo/tests/expr/view_key_test.cc" "tests/CMakeFiles/core_tests.dir/expr/view_key_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/expr/view_key_test.cc.o.d"
+  "/root/repo/tests/sharing/sharing_test.cc" "tests/CMakeFiles/core_tests.dir/sharing/sharing_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/sharing/sharing_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/catalog/catalog_test.cc.o"
+  "CMakeFiles/core_tests.dir/catalog/catalog_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/catalog/table_set_test.cc.o"
+  "CMakeFiles/core_tests.dir/catalog/table_set_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/cluster/cluster_test.cc.o"
+  "CMakeFiles/core_tests.dir/cluster/cluster_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/common/rng_test.cc.o"
+  "CMakeFiles/core_tests.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/common/status_test.cc.o"
+  "CMakeFiles/core_tests.dir/common/status_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/expr/histogram_test.cc.o"
+  "CMakeFiles/core_tests.dir/expr/histogram_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/expr/predicate_test.cc.o"
+  "CMakeFiles/core_tests.dir/expr/predicate_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/expr/selectivity_test.cc.o"
+  "CMakeFiles/core_tests.dir/expr/selectivity_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/expr/view_key_test.cc.o"
+  "CMakeFiles/core_tests.dir/expr/view_key_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/sharing/sharing_test.cc.o"
+  "CMakeFiles/core_tests.dir/sharing/sharing_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

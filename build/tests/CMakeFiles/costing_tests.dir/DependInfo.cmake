@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/costing/containment_test.cc" "tests/CMakeFiles/costing_tests.dir/costing/containment_test.cc.o" "gcc" "tests/CMakeFiles/costing_tests.dir/costing/containment_test.cc.o.d"
+  "/root/repo/tests/costing/costing_session_test.cc" "tests/CMakeFiles/costing_tests.dir/costing/costing_session_test.cc.o" "gcc" "tests/CMakeFiles/costing_tests.dir/costing/costing_session_test.cc.o.d"
+  "/root/repo/tests/costing/even_split_test.cc" "tests/CMakeFiles/costing_tests.dir/costing/even_split_test.cc.o" "gcc" "tests/CMakeFiles/costing_tests.dir/costing/even_split_test.cc.o.d"
+  "/root/repo/tests/costing/fair_cost_test.cc" "tests/CMakeFiles/costing_tests.dir/costing/fair_cost_test.cc.o" "gcc" "tests/CMakeFiles/costing_tests.dir/costing/fair_cost_test.cc.o.d"
+  "/root/repo/tests/costing/faircost_property_test.cc" "tests/CMakeFiles/costing_tests.dir/costing/faircost_property_test.cc.o" "gcc" "tests/CMakeFiles/costing_tests.dir/costing/faircost_property_test.cc.o.d"
+  "/root/repo/tests/costing/fairness_criteria_test.cc" "tests/CMakeFiles/costing_tests.dir/costing/fairness_criteria_test.cc.o" "gcc" "tests/CMakeFiles/costing_tests.dir/costing/fairness_criteria_test.cc.o.d"
+  "/root/repo/tests/costing/lpc_test.cc" "tests/CMakeFiles/costing_tests.dir/costing/lpc_test.cc.o" "gcc" "tests/CMakeFiles/costing_tests.dir/costing/lpc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costing_tests.dir/costing/containment_test.cc.o"
+  "CMakeFiles/costing_tests.dir/costing/containment_test.cc.o.d"
+  "CMakeFiles/costing_tests.dir/costing/costing_session_test.cc.o"
+  "CMakeFiles/costing_tests.dir/costing/costing_session_test.cc.o.d"
+  "CMakeFiles/costing_tests.dir/costing/even_split_test.cc.o"
+  "CMakeFiles/costing_tests.dir/costing/even_split_test.cc.o.d"
+  "CMakeFiles/costing_tests.dir/costing/fair_cost_test.cc.o"
+  "CMakeFiles/costing_tests.dir/costing/fair_cost_test.cc.o.d"
+  "CMakeFiles/costing_tests.dir/costing/faircost_property_test.cc.o"
+  "CMakeFiles/costing_tests.dir/costing/faircost_property_test.cc.o.d"
+  "CMakeFiles/costing_tests.dir/costing/fairness_criteria_test.cc.o"
+  "CMakeFiles/costing_tests.dir/costing/fairness_criteria_test.cc.o.d"
+  "CMakeFiles/costing_tests.dir/costing/lpc_test.cc.o"
+  "CMakeFiles/costing_tests.dir/costing/lpc_test.cc.o.d"
+  "costing_tests"
+  "costing_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintain_tests.dir/maintain/delta_engine_test.cc.o"
+  "CMakeFiles/maintain_tests.dir/maintain/delta_engine_test.cc.o.d"
+  "CMakeFiles/maintain_tests.dir/maintain/projection_test.cc.o"
+  "CMakeFiles/maintain_tests.dir/maintain/projection_test.cc.o.d"
+  "CMakeFiles/maintain_tests.dir/maintain/relation_test.cc.o"
+  "CMakeFiles/maintain_tests.dir/maintain/relation_test.cc.o.d"
+  "maintain_tests"
+  "maintain_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintain_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/online/ablation_traps_test.cc" "tests/CMakeFiles/online_tests.dir/online/ablation_traps_test.cc.o" "gcc" "tests/CMakeFiles/online_tests.dir/online/ablation_traps_test.cc.o.d"
+  "/root/repo/tests/online/exhaustive_test.cc" "tests/CMakeFiles/online_tests.dir/online/exhaustive_test.cc.o" "gcc" "tests/CMakeFiles/online_tests.dir/online/exhaustive_test.cc.o.d"
+  "/root/repo/tests/online/extensions_test.cc" "tests/CMakeFiles/online_tests.dir/online/extensions_test.cc.o" "gcc" "tests/CMakeFiles/online_tests.dir/online/extensions_test.cc.o.d"
+  "/root/repo/tests/online/paper_examples_test.cc" "tests/CMakeFiles/online_tests.dir/online/paper_examples_test.cc.o" "gcc" "tests/CMakeFiles/online_tests.dir/online/paper_examples_test.cc.o.d"
+  "/root/repo/tests/online/planner_test.cc" "tests/CMakeFiles/online_tests.dir/online/planner_test.cc.o" "gcc" "tests/CMakeFiles/online_tests.dir/online/planner_test.cc.o.d"
+  "/root/repo/tests/online/regret_tracker_test.cc" "tests/CMakeFiles/online_tests.dir/online/regret_tracker_test.cc.o" "gcc" "tests/CMakeFiles/online_tests.dir/online/regret_tracker_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

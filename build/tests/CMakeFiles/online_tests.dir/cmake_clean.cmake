@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_tests.dir/online/ablation_traps_test.cc.o"
+  "CMakeFiles/online_tests.dir/online/ablation_traps_test.cc.o.d"
+  "CMakeFiles/online_tests.dir/online/exhaustive_test.cc.o"
+  "CMakeFiles/online_tests.dir/online/exhaustive_test.cc.o.d"
+  "CMakeFiles/online_tests.dir/online/extensions_test.cc.o"
+  "CMakeFiles/online_tests.dir/online/extensions_test.cc.o.d"
+  "CMakeFiles/online_tests.dir/online/paper_examples_test.cc.o"
+  "CMakeFiles/online_tests.dir/online/paper_examples_test.cc.o.d"
+  "CMakeFiles/online_tests.dir/online/planner_test.cc.o"
+  "CMakeFiles/online_tests.dir/online/planner_test.cc.o.d"
+  "CMakeFiles/online_tests.dir/online/regret_tracker_test.cc.o"
+  "CMakeFiles/online_tests.dir/online/regret_tracker_test.cc.o.d"
+  "online_tests"
+  "online_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

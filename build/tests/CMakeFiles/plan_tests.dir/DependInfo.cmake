@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cost/breakdown_test.cc" "tests/CMakeFiles/plan_tests.dir/cost/breakdown_test.cc.o" "gcc" "tests/CMakeFiles/plan_tests.dir/cost/breakdown_test.cc.o.d"
+  "/root/repo/tests/cost/cost_model_test.cc" "tests/CMakeFiles/plan_tests.dir/cost/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/plan_tests.dir/cost/cost_model_test.cc.o.d"
+  "/root/repo/tests/globalplan/global_plan_property_test.cc" "tests/CMakeFiles/plan_tests.dir/globalplan/global_plan_property_test.cc.o" "gcc" "tests/CMakeFiles/plan_tests.dir/globalplan/global_plan_property_test.cc.o.d"
+  "/root/repo/tests/globalplan/global_plan_test.cc" "tests/CMakeFiles/plan_tests.dir/globalplan/global_plan_test.cc.o" "gcc" "tests/CMakeFiles/plan_tests.dir/globalplan/global_plan_test.cc.o.d"
+  "/root/repo/tests/globalplan/reuse_chain_test.cc" "tests/CMakeFiles/plan_tests.dir/globalplan/reuse_chain_test.cc.o" "gcc" "tests/CMakeFiles/plan_tests.dir/globalplan/reuse_chain_test.cc.o.d"
+  "/root/repo/tests/plan/enumerator_property_test.cc" "tests/CMakeFiles/plan_tests.dir/plan/enumerator_property_test.cc.o" "gcc" "tests/CMakeFiles/plan_tests.dir/plan/enumerator_property_test.cc.o.d"
+  "/root/repo/tests/plan/enumerator_test.cc" "tests/CMakeFiles/plan_tests.dir/plan/enumerator_test.cc.o" "gcc" "tests/CMakeFiles/plan_tests.dir/plan/enumerator_test.cc.o.d"
+  "/root/repo/tests/plan/explain_test.cc" "tests/CMakeFiles/plan_tests.dir/plan/explain_test.cc.o" "gcc" "tests/CMakeFiles/plan_tests.dir/plan/explain_test.cc.o.d"
+  "/root/repo/tests/plan/join_graph_test.cc" "tests/CMakeFiles/plan_tests.dir/plan/join_graph_test.cc.o" "gcc" "tests/CMakeFiles/plan_tests.dir/plan/join_graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

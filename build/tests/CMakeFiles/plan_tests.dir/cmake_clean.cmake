@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_tests.dir/cost/breakdown_test.cc.o"
+  "CMakeFiles/plan_tests.dir/cost/breakdown_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/cost/cost_model_test.cc.o"
+  "CMakeFiles/plan_tests.dir/cost/cost_model_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/globalplan/global_plan_property_test.cc.o"
+  "CMakeFiles/plan_tests.dir/globalplan/global_plan_property_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/globalplan/global_plan_test.cc.o"
+  "CMakeFiles/plan_tests.dir/globalplan/global_plan_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/globalplan/reuse_chain_test.cc.o"
+  "CMakeFiles/plan_tests.dir/globalplan/reuse_chain_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/plan/enumerator_property_test.cc.o"
+  "CMakeFiles/plan_tests.dir/plan/enumerator_property_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/plan/enumerator_test.cc.o"
+  "CMakeFiles/plan_tests.dir/plan/enumerator_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/plan/explain_test.cc.o"
+  "CMakeFiles/plan_tests.dir/plan/explain_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/plan/join_graph_test.cc.o"
+  "CMakeFiles/plan_tests.dir/plan/join_graph_test.cc.o.d"
+  "plan_tests"
+  "plan_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/workload_market_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/workload_market_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/planner_invariants_test.cc" "tests/CMakeFiles/workload_market_tests.dir/integration/planner_invariants_test.cc.o" "gcc" "tests/CMakeFiles/workload_market_tests.dir/integration/planner_invariants_test.cc.o.d"
+  "/root/repo/tests/io/market_io_test.cc" "tests/CMakeFiles/workload_market_tests.dir/io/market_io_test.cc.o" "gcc" "tests/CMakeFiles/workload_market_tests.dir/io/market_io_test.cc.o.d"
+  "/root/repo/tests/market/data_market_test.cc" "tests/CMakeFiles/workload_market_tests.dir/market/data_market_test.cc.o" "gcc" "tests/CMakeFiles/workload_market_tests.dir/market/data_market_test.cc.o.d"
+  "/root/repo/tests/market/simulation_test.cc" "tests/CMakeFiles/workload_market_tests.dir/market/simulation_test.cc.o" "gcc" "tests/CMakeFiles/workload_market_tests.dir/market/simulation_test.cc.o.d"
+  "/root/repo/tests/workload/workload_test.cc" "tests/CMakeFiles/workload_market_tests.dir/workload/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_market_tests.dir/workload/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_market_tests.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/workload_market_tests.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/workload_market_tests.dir/integration/planner_invariants_test.cc.o"
+  "CMakeFiles/workload_market_tests.dir/integration/planner_invariants_test.cc.o.d"
+  "CMakeFiles/workload_market_tests.dir/io/market_io_test.cc.o"
+  "CMakeFiles/workload_market_tests.dir/io/market_io_test.cc.o.d"
+  "CMakeFiles/workload_market_tests.dir/market/data_market_test.cc.o"
+  "CMakeFiles/workload_market_tests.dir/market/data_market_test.cc.o.d"
+  "CMakeFiles/workload_market_tests.dir/market/simulation_test.cc.o"
+  "CMakeFiles/workload_market_tests.dir/market/simulation_test.cc.o.d"
+  "CMakeFiles/workload_market_tests.dir/workload/workload_test.cc.o"
+  "CMakeFiles/workload_market_tests.dir/workload/workload_test.cc.o.d"
+  "workload_market_tests"
+  "workload_market_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_market_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(core_tests "/root/repo/build/tests/core_tests")
+set_tests_properties(core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;dsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(plan_tests "/root/repo/build/tests/plan_tests")
+set_tests_properties(plan_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;24;dsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(online_tests "/root/repo/build/tests/online_tests")
+set_tests_properties(online_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;36;dsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(costing_tests "/root/repo/build/tests/costing_tests")
+set_tests_properties(costing_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;45;dsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(maintain_tests "/root/repo/build/tests/maintain_tests")
+set_tests_properties(maintain_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;55;dsm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_market_tests "/root/repo/build/tests/workload_market_tests")
+set_tests_properties(workload_market_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;61;dsm_test;/root/repo/tests/CMakeLists.txt;0;")
