@@ -15,6 +15,7 @@
 #include "costing/costing_session.h"
 #include "market/simulation.h"
 #include "online/managed_risk.h"
+#include "online/recovery_planner.h"
 #include "plan/explain.h"
 #include "workload/twitter.h"
 
@@ -97,6 +98,44 @@ int main() {
     return 1;
   }
   std::printf("\nall purchased views verified against recomputation ✓\n");
+
+  // --- A machine dies mid-stream, then comes back -----------------------
+  // m4 hosts SOCNET and is the delivery destination of both S5 buyers.
+  // While it is down the market degrades instead of failing: sharings with
+  // a surviving alternative migrate, the rest park (their views go stale
+  // and stop being billed for maintenance) until the machine returns.
+  dsm::RecoveryPlanner recovery(ctx);
+  sim.AttachFaultDomain(&cluster, &recovery);
+  if (!sim.ScheduleServerFailure(/*tick=*/6, /*server=*/4).ok()) return 1;
+  if (!sim.Run(/*ticks=*/2, /*scale=*/0.1).ok()) return 1;
+
+  const auto& down = sim.recovery_stats();
+  std::printf("\nmachine m4 died at tick 6:\n");
+  std::printf("  sharings migrated to live machines: %d (extra cost "
+              "$%.5f/time unit)\n",
+              down.migrated, down.migration_cost_delta);
+  std::printf("  sharings parked awaiting capacity:  %d (%zu views "
+              "degraded)\n",
+              down.parked, sim.parked_sharings());
+  const auto degraded_ok = sim.VerifyViews();
+  if (!degraded_ok.ok() || !*degraded_ok) {
+    std::fprintf(stderr, "degraded-mode verification FAILED\n");
+    return 1;
+  }
+  std::printf("  surviving views still verify against recomputation ✓\n");
+
+  if (!sim.ScheduleServerRecovery(/*tick=*/8, /*server=*/4).ok()) return 1;
+  if (!sim.Run(/*ticks=*/2, /*scale=*/0.1).ok()) return 1;
+  const auto& up = sim.recovery_stats();
+  std::printf("machine m4 returned at tick 8:\n");
+  std::printf("  parked sharings re-admitted: %d (still parked: %zu)\n",
+              up.readmitted, sim.parked_sharings());
+  const auto recovered_ok = sim.VerifyViews();
+  if (!recovered_ok.ok() || !*recovered_ok) {
+    std::fprintf(stderr, "post-recovery verification FAILED\n");
+    return 1;
+  }
+  std::printf("  all views (including re-admitted) verified ✓\n");
 
   // --- Final bill -------------------------------------------------------
   const auto& last = costing.history().back();

@@ -4,8 +4,40 @@ namespace dsm {
 
 ServerId Cluster::AddServer(std::string name, double capacity) {
   const auto id = static_cast<ServerId>(servers_.size());
-  servers_.push_back(Server{id, std::move(name), capacity});
+  servers_.push_back(Server{id, std::move(name), capacity, /*up=*/true});
+  ++live_count_;
   return id;
+}
+
+Status Cluster::MarkDown(ServerId id) {
+  if (id >= servers_.size()) {
+    return Status::InvalidArgument("no such server");
+  }
+  if (servers_[id].up) {
+    servers_[id].up = false;
+    --live_count_;
+  }
+  return Status::OK();
+}
+
+Status Cluster::MarkUp(ServerId id) {
+  if (id >= servers_.size()) {
+    return Status::InvalidArgument("no such server");
+  }
+  if (!servers_[id].up) {
+    servers_[id].up = true;
+    ++live_count_;
+  }
+  return Status::OK();
+}
+
+std::vector<ServerId> Cluster::live_servers() const {
+  std::vector<ServerId> out;
+  out.reserve(live_count_);
+  for (const Server& s : servers_) {
+    if (s.up) out.push_back(s.id);
+  }
+  return out;
 }
 
 Status Cluster::PlaceTable(TableId t, ServerId s) {

@@ -24,6 +24,10 @@ struct Server {
   ServerId id = 0;
   std::string name;
   double capacity_tuples_per_unit = std::numeric_limits<double>::infinity();
+  // Liveness: a down server has lost its machine (and every view
+  // materialized on it). Placement on a down server is infeasible and its
+  // effective capacity is zero until MarkUp() restores it.
+  bool up = true;
 };
 
 // Dollar prices for cloud resources per time unit, mirroring how IaaS
@@ -54,6 +58,23 @@ class Cluster {
   const Server& server(ServerId id) const { return servers_[id]; }
   Server& mutable_server(ServerId id) { return servers_[id]; }
 
+  // --- Liveness ------------------------------------------------------------
+  // Takes a server down: its capacity is revoked (effective capacity 0)
+  // and no plan may place a view on it until MarkUp(). Idempotent.
+  Status MarkDown(ServerId id);
+  // Brings a server back with its original capacity. Idempotent.
+  Status MarkUp(ServerId id);
+
+  bool is_up(ServerId id) const {
+    return id < servers_.size() && servers_[id].up;
+  }
+  // Rated capacity while up, 0 while down.
+  double effective_capacity(ServerId id) const {
+    return is_up(id) ? servers_[id].capacity_tuples_per_unit : 0.0;
+  }
+  size_t num_live_servers() const { return live_count_; }
+  std::vector<ServerId> live_servers() const;
+
   const CostRates& rates() const { return rates_; }
   void set_rates(CostRates rates) { rates_ = rates; }
 
@@ -73,6 +94,7 @@ class Cluster {
   std::vector<Server> servers_;
   std::vector<int64_t> home_;  // home_[table] = server id or -1
   CostRates rates_;
+  size_t live_count_ = 0;
 };
 
 }  // namespace dsm

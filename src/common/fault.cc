@@ -1,0 +1,71 @@
+#include "common/fault.h"
+
+namespace dsm {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Rng(seed);
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  state.spec = spec;
+  state.armed = true;
+  state.hits = 0;
+  state.fires = 0;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  if (it != points_.end()) it->second.armed = false;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  rng_ = Rng(kDefaultSeed);
+}
+
+bool FaultInjector::ShouldFail(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  const int hit = state.hits++;
+  if (!state.armed) return false;
+  if (hit < state.spec.fail_after) return false;
+  if (state.spec.max_fires >= 0 && state.fires >= state.spec.max_fires) {
+    return false;
+  }
+  if (state.spec.probability < 1.0 &&
+      !rng_.Bernoulli(state.spec.probability)) {
+    return false;
+  }
+  ++state.fires;
+  return true;
+}
+
+bool FaultInjector::armed(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it != points_.end() && it->second.armed;
+}
+
+int FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+int FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace dsm

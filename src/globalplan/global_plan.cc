@@ -22,6 +22,8 @@ int GlobalPlan::FindBestReuse(const ViewKey& needed, ServerId server,
   for (const int id : it->second) {
     const GPNode& cand = nodes_[static_cast<size_t>(id)];
     if (!cand.alive || !cand.key.Subsumes(needed)) continue;
+    // A view on a down server is lost; it cannot feed anyone.
+    if (!cluster_->is_up(cand.server)) continue;
     const bool exact = cand.key == needed && cand.server == server;
     const double cost =
         exact ? 0.0
@@ -104,11 +106,24 @@ void GlobalPlan::Decide(const SharingPlan& plan, const AddOptions& options,
     if (load > 0.0) added[pn.server] += load;
   }
   eval->feasible = true;
+  // Liveness: no node may be materialized on a down server — a fresh
+  // view can't be built there and a residual filter/copy can't run there.
+  // This also covers leaves (the base table's home machine is gone) and
+  // the root (the sharing's destination is unreachable).
+  for (size_t i = 0; i < n; ++i) {
+    const NodeDecision& d = eval->decisions[i];
+    const bool places_work =
+        d.state == NodeDecision::kFresh ||
+        (d.state == NodeDecision::kReused && d.needs_residual);
+    if (places_work && !cluster_->is_up(plan.nodes[i].server)) {
+      eval->feasible = false;
+      return;
+    }
+  }
   for (const auto& [server, load] : added) {
     const double current =
         server_load_.count(server) != 0 ? server_load_.at(server) : 0.0;
-    if (current + load >
-        cluster_->server(server).capacity_tuples_per_unit) {
+    if (current + load > cluster_->effective_capacity(server)) {
       eval->feasible = false;
       break;
     }
@@ -284,6 +299,21 @@ bool GlobalPlan::HasUnpredicatedView(TableSet tables) const {
     if (node.alive && node.key.predicates.empty()) return true;
   }
   return false;
+}
+
+std::vector<SharingId> GlobalPlan::SharingsTouchingServer(
+    ServerId server) const {
+  std::vector<SharingId> out;
+  for (const auto& [id, closure] : closures_) {
+    for (const int gp : closure) {
+      const GPNode& node = nodes_[static_cast<size_t>(gp)];
+      if (node.alive && node.server == server) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 std::vector<SharingId> GlobalPlan::sharing_ids() const {

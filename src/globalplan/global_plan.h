@@ -131,6 +131,13 @@ class GlobalPlan {
   double node_cost(int id) const {
     return nodes_[static_cast<size_t>(id)].cost;
   }
+  ServerId node_server(int id) const {
+    return nodes_[static_cast<size_t>(id)].server;
+  }
+
+  // Sharings whose plan closure includes any alive view materialized on
+  // `server` — the blast radius of losing that machine. Sorted by id.
+  std::vector<SharingId> SharingsTouchingServer(ServerId server) const;
 
  private:
   struct GPNode {

@@ -1,6 +1,7 @@
 #include "io/market_io.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -9,6 +10,11 @@ namespace dsm {
 namespace {
 
 constexpr const char* kHeader = "dsm-market v1";
+
+// Caps on counts read from untrusted input: generous for any real market,
+// small enough that a garbled count cannot drive allocation or looping.
+constexpr long long kMaxRecordCount = 1LL << 20;
+constexpr long long kMaxColumnsPerTable = 4096;
 
 // Names/buyers are %-escaped so every record stays one whitespace-split
 // line.
@@ -61,6 +67,253 @@ Result<DataType> ParseType(const std::string& tag) {
   return Status::InvalidArgument("unknown column type: " + tag);
 }
 
+// Reads a count field as signed first so "-1" is rejected instead of
+// wrapping to a huge unsigned value, then bounds it.
+Result<long long> ReadCount(std::istringstream* fields, const char* what,
+                            long long max = kMaxRecordCount) {
+  long long v = 0;
+  if (!(*fields >> v)) {
+    return Status::InvalidArgument(std::string("malformed ") + what);
+  }
+  if (v < 0 || v > max) {
+    return Status::InvalidArgument(std::string("out-of-range ") + what);
+  }
+  return v;
+}
+
+Result<double> ReadFiniteNonNegative(std::istringstream* fields,
+                                     const char* what) {
+  double v = 0.0;
+  if (!(*fields >> v) || !std::isfinite(v) || v < 0.0) {
+    return Status::InvalidArgument(std::string("bad ") + what);
+  }
+  return v;
+}
+
+Result<Predicate> ParsePredicate(std::istringstream* line) {
+  long long table = 0;
+  long long column = 0;
+  int op = 0;
+  double value = 0.0;
+  if (!(*line >> table >> column >> op >> value)) {
+    return Status::InvalidArgument("malformed pred record");
+  }
+  if (table < 0 || table >= TableSet::kMaxTables) {
+    return Status::InvalidArgument("predicate table out of range");
+  }
+  if (column < 0 || column > 0xffff) {
+    return Status::InvalidArgument("predicate column out of range");
+  }
+  if (op < 0 || op > 2) {
+    return Status::InvalidArgument("bad predicate op");
+  }
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("non-finite predicate value");
+  }
+  Predicate p;
+  p.table = static_cast<TableId>(table);
+  p.column = static_cast<uint16_t>(column);
+  p.op = static_cast<CompareOp>(op);
+  p.value = value;
+  return p;
+}
+
+// Incremental parser for the "sharing"/"pred"/"plan"/"node" grammar. Both
+// the full market-state reader and ParseSharingRecord feed records through
+// one instance; entries become visible only once their block is complete
+// (predicates, plan and every node fully read).
+class SharingBlockParser {
+ public:
+  explicit SharingBlockParser(size_t num_servers)
+      : num_servers_(num_servers) {}
+
+  // Handles one record line. Sets *handled to false when `kind` is not
+  // part of the sharing grammar (the caller owns such records).
+  Status Feed(const std::string& kind, std::istringstream* fields,
+              bool* handled) {
+    *handled = true;
+    if (kind == "sharing") return BeginSharing(fields);
+    if (kind == "pred") return AddPredicate(fields);
+    if (kind == "plan") return BeginPlan(fields);
+    if (kind == "node") return AddNode(fields);
+    *handled = false;
+    return Status::OK();
+  }
+
+  // Error unless every started block was completed.
+  Status Finish() const {
+    if (open_) {
+      return Status::InvalidArgument("truncated sharing record");
+    }
+    return Status::OK();
+  }
+
+  std::vector<SharingStateEntry>& entries() { return entries_; }
+
+ private:
+  Status CheckServer(long long server, const char* what) const {
+    if (server < 0 ||
+        (num_servers_ != 0 &&
+         server >= static_cast<long long>(num_servers_))) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " server out of range");
+    }
+    return Status::OK();
+  }
+
+  Status BeginSharing(std::istringstream* fields) {
+    if (open_) {
+      return Status::InvalidArgument("sharing record inside open sharing");
+    }
+    unsigned long long id = 0;
+    long long dest = 0;
+    std::string buyer;
+    unsigned long long mask = 0;
+    if (!(*fields >> id >> dest >> buyer >> mask)) {
+      return Status::InvalidArgument("malformed sharing record");
+    }
+    DSM_RETURN_IF_ERROR(CheckServer(dest, "sharing destination"));
+    if (mask == 0) {
+      return Status::InvalidArgument("sharing has no member tables");
+    }
+    DSM_ASSIGN_OR_RETURN(const long long preds,
+                         ReadCount(fields, "sharing predicate count"));
+    open_ = true;
+    id_ = id;
+    dest_ = static_cast<ServerId>(dest);
+    buyer_ = Unescape(buyer);
+    tables_ = TableSet(mask);
+    preds_.clear();
+    preds_left_ = static_cast<size_t>(preds);
+    plan_ = SharingPlan{};
+    plan_seen_ = false;
+    nodes_left_ = 0;
+    node_preds_left_ = 0;
+    MaybeComplete();
+    return Status::OK();
+  }
+
+  Status AddPredicate(std::istringstream* fields) {
+    DSM_ASSIGN_OR_RETURN(const Predicate p, ParsePredicate(fields));
+    if (!open_) {
+      return Status::InvalidArgument("pred record outside sharing");
+    }
+    if (preds_left_ > 0) {
+      preds_.push_back(p);
+      --preds_left_;
+    } else if (node_preds_left_ > 0) {
+      plan_.nodes.back().key.predicates.push_back(p);
+      if (--node_preds_left_ == 0) {
+        NormalizePredicates(&plan_.nodes.back().key.predicates);
+      }
+    } else {
+      return Status::InvalidArgument("unexpected pred record");
+    }
+    MaybeComplete();
+    return Status::OK();
+  }
+
+  Status BeginPlan(std::istringstream* fields) {
+    if (!open_ || preds_left_ != 0 || plan_seen_) {
+      return Status::InvalidArgument("plan record outside sharing");
+    }
+    DSM_ASSIGN_OR_RETURN(const long long nodes,
+                         ReadCount(fields, "plan node count"));
+    if (nodes == 0) {
+      return Status::InvalidArgument("empty plan");
+    }
+    plan_seen_ = true;
+    nodes_left_ = static_cast<size_t>(nodes);
+    plan_.nodes.reserve(nodes_left_);
+    return Status::OK();
+  }
+
+  Status AddNode(std::istringstream* fields) {
+    if (!open_ || !plan_seen_ || nodes_left_ == 0 ||
+        node_preds_left_ != 0) {
+      return Status::InvalidArgument("unexpected node record");
+    }
+    int type = 0;
+    long long server = 0;
+    long long left = 0;
+    long long right = 0;
+    long long base_table = 0;
+    unsigned long long mask = 0;
+    if (!(*fields >> type >> server >> left >> right >> base_table >>
+          mask)) {
+      return Status::InvalidArgument("malformed node record");
+    }
+    DSM_ASSIGN_OR_RETURN(const long long preds,
+                         ReadCount(fields, "node predicate count"));
+    if (type < 0 || type > 2) {
+      return Status::InvalidArgument("bad node type");
+    }
+    DSM_RETURN_IF_ERROR(CheckServer(server, "node"));
+    // Children must precede their parent (plans are topological).
+    const long long index = static_cast<long long>(plan_.nodes.size());
+    if (left < -1 || left >= index || right < -1 || right >= index) {
+      return Status::InvalidArgument("node child index out of range");
+    }
+    const auto node_type = static_cast<PlanNodeType>(type);
+    if (node_type == PlanNodeType::kLeaf && (left != -1 || right != -1)) {
+      return Status::InvalidArgument("leaf node with children");
+    }
+    if (node_type == PlanNodeType::kJoin && (left < 0 || right < 0)) {
+      return Status::InvalidArgument("join node missing a child");
+    }
+    if (node_type == PlanNodeType::kFilterCopy &&
+        (left < 0 || right != -1)) {
+      return Status::InvalidArgument("filter/copy node malformed children");
+    }
+    if (base_table < 0 || base_table >= TableSet::kMaxTables) {
+      return Status::InvalidArgument("node base table out of range");
+    }
+    if (mask == 0) {
+      return Status::InvalidArgument("node covers no tables");
+    }
+    PlanNode node;
+    node.type = node_type;
+    node.server = static_cast<ServerId>(server);
+    node.left = static_cast<int>(left);
+    node.right = static_cast<int>(right);
+    node.base_table = static_cast<TableId>(base_table);
+    node.key.tables = TableSet(mask);
+    plan_.nodes.push_back(std::move(node));
+    --nodes_left_;
+    node_preds_left_ = static_cast<size_t>(preds);
+    MaybeComplete();
+    return Status::OK();
+  }
+
+  void MaybeComplete() {
+    if (!open_ || preds_left_ != 0 || !plan_seen_ || nodes_left_ != 0 ||
+        node_preds_left_ != 0) {
+      return;
+    }
+    SharingStateEntry entry;
+    entry.id = id_;
+    entry.sharing = Sharing(tables_, preds_, dest_, buyer_);
+    entry.plan = std::move(plan_);
+    entries_.push_back(std::move(entry));
+    open_ = false;
+  }
+
+  size_t num_servers_;
+  std::vector<SharingStateEntry> entries_;
+
+  bool open_ = false;
+  SharingId id_ = 0;
+  ServerId dest_ = 0;
+  std::string buyer_;
+  TableSet tables_;
+  std::vector<Predicate> preds_;
+  size_t preds_left_ = 0;
+  SharingPlan plan_;
+  bool plan_seen_ = false;
+  size_t nodes_left_ = 0;
+  size_t node_preds_left_ = 0;
+};
+
 void WritePredicates(const std::vector<Predicate>& preds,
                      std::ostream* out) {
   for (const Predicate& p : preds) {
@@ -69,22 +322,45 @@ void WritePredicates(const std::vector<Predicate>& preds,
   }
 }
 
-Result<Predicate> ParsePredicate(std::istringstream* line) {
-  Predicate p;
-  int op = 0;
-  uint32_t column = 0;
-  if (!(*line >> p.table >> column >> op >> p.value)) {
-    return Status::InvalidArgument("malformed pred record");
+}  // namespace
+
+void WriteSharingRecord(SharingId id, const Sharing& sharing,
+                        const SharingPlan& plan, std::ostream* out) {
+  *out << "sharing " << id << ' ' << sharing.destination() << ' '
+       << Escape(sharing.buyer()) << ' ' << sharing.tables().mask() << ' '
+       << sharing.predicates().size() << '\n';
+  WritePredicates(sharing.predicates(), out);
+  *out << "plan " << plan.nodes.size() << '\n';
+  for (const PlanNode& n : plan.nodes) {
+    *out << "node " << static_cast<int>(n.type) << ' ' << n.server << ' '
+         << n.left << ' ' << n.right << ' ' << n.base_table << ' '
+         << n.key.tables.mask() << ' ' << n.key.predicates.size() << '\n';
+    WritePredicates(n.key.predicates, out);
   }
-  if (op < 0 || op > 2) {
-    return Status::InvalidArgument("bad predicate op");
-  }
-  p.column = static_cast<uint16_t>(column);
-  p.op = static_cast<CompareOp>(op);
-  return p;
 }
 
-}  // namespace
+Result<SharingStateEntry> ParseSharingRecord(const std::string& block,
+                                             size_t num_servers) {
+  SharingBlockParser parser(num_servers);
+  std::istringstream in(block);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    bool handled = false;
+    DSM_RETURN_IF_ERROR(parser.Feed(kind, &fields, &handled));
+    if (!handled) {
+      return Status::InvalidArgument("unknown record kind: " + kind);
+    }
+  }
+  DSM_RETURN_IF_ERROR(parser.Finish());
+  if (parser.entries().size() != 1) {
+    return Status::InvalidArgument("expected exactly one sharing record");
+  }
+  return std::move(parser.entries().front());
+}
 
 Status WriteMarketState(const Catalog& catalog, const Cluster& cluster,
                         const GlobalPlan* global_plan, std::ostream* out) {
@@ -117,19 +393,7 @@ Status WriteMarketState(const Catalog& catalog, const Cluster& cluster,
   if (global_plan != nullptr) {
     for (const SharingId id : global_plan->sharing_ids()) {
       const GlobalPlan::SharingRecord* rec = global_plan->record(id);
-      const Sharing& sharing = rec->sharing;
-      *out << "sharing " << id << ' ' << sharing.destination() << ' '
-           << Escape(sharing.buyer()) << ' ' << sharing.tables().mask()
-           << ' ' << sharing.predicates().size() << '\n';
-      WritePredicates(sharing.predicates(), out);
-      *out << "plan " << rec->plan.nodes.size() << '\n';
-      for (const PlanNode& n : rec->plan.nodes) {
-        *out << "node " << static_cast<int>(n.type) << ' ' << n.server
-             << ' ' << n.left << ' ' << n.right << ' ' << n.base_table
-             << ' ' << n.key.tables.mask() << ' ' << n.key.predicates.size()
-             << '\n';
-        WritePredicates(n.key.predicates, out);
-      }
+      WriteSharingRecord(id, rec->sharing, rec->plan, out);
     }
   }
   return out->good() ? Status::OK() : Status::Internal("stream write failed");
@@ -158,6 +422,10 @@ Result<MarketState> ReadMarketState(std::istream* in) {
     if (pending_table.columns.size() != pending_columns) {
       return Status::InvalidArgument("table column count mismatch");
     }
+    if (state.catalog.num_tables() >=
+        static_cast<size_t>(TableSet::kMaxTables)) {
+      return Status::InvalidArgument("too many tables");
+    }
     DSM_RETURN_IF_ERROR(
         state.catalog.AddTable(std::move(pending_table)).status());
     pending_table = TableDef();
@@ -165,23 +433,8 @@ Result<MarketState> ReadMarketState(std::istream* in) {
     return Status::OK();
   };
 
-  // Sharing/plan parsing state.
-  SharingStateEntry* open_sharing = nullptr;
-  size_t sharing_preds_left = 0;
-  std::vector<Predicate> sharing_preds;
-  TableSet sharing_tables;
-  size_t plan_nodes_left = 0;
-  size_t node_preds_left = 0;
-
-  auto finalize_sharing_header = [&]() {
-    if (open_sharing != nullptr && sharing_preds_left == 0 &&
-        open_sharing->sharing.tables().empty()) {
-      const Sharing rebuilt(sharing_tables, sharing_preds,
-                            open_sharing->sharing.destination(),
-                            open_sharing->sharing.buyer());
-      open_sharing->sharing = rebuilt;
-    }
-  };
+  SharingBlockParser sharings(/*num_servers=*/0);
+  bool any_sharing_seen = false;
 
   while (std::getline(*in, line)) {
     if (line.empty()) continue;
@@ -200,29 +453,49 @@ Result<MarketState> ReadMarketState(std::istream* in) {
       // case of an uncapped server.
       char* end = nullptr;
       const double capacity = std::strtod(capacity_text.c_str(), &end);
-      if (end == capacity_text.c_str()) {
+      if (end == capacity_text.c_str() || *end != '\0' ||
+          std::isnan(capacity) || capacity < 0.0) {
         return Status::InvalidArgument("bad server capacity");
+      }
+      if (any_sharing_seen) {
+        return Status::InvalidArgument("server record after sharings");
       }
       state.cluster.AddServer(Unescape(name), capacity);
     } else if (kind == "table") {
       DSM_RETURN_IF_ERROR(flush_table());
       std::string name;
-      if (!(fields >> name >> pending_table.stats.cardinality >>
-            pending_table.stats.update_rate >>
-            pending_table.stats.tuple_bytes >> pending_columns)) {
+      if (!(fields >> name)) {
         return Status::InvalidArgument("malformed table record");
       }
+      DSM_ASSIGN_OR_RETURN(pending_table.stats.cardinality,
+                           ReadFiniteNonNegative(&fields, "cardinality"));
+      DSM_ASSIGN_OR_RETURN(pending_table.stats.update_rate,
+                           ReadFiniteNonNegative(&fields, "update rate"));
+      DSM_ASSIGN_OR_RETURN(pending_table.stats.tuple_bytes,
+                           ReadFiniteNonNegative(&fields, "tuple bytes"));
+      DSM_ASSIGN_OR_RETURN(
+          const long long columns,
+          ReadCount(&fields, "column count", kMaxColumnsPerTable));
+      pending_columns = static_cast<size_t>(columns);
       pending_table.name = Unescape(name);
       table_open = true;
     } else if (kind == "col") {
       if (!table_open) {
         return Status::InvalidArgument("col record outside table");
       }
+      if (pending_table.columns.size() >= pending_columns) {
+        return Status::InvalidArgument("more col records than declared");
+      }
       std::string name;
       std::string type_tag;
       ColumnDef col;
-      if (!(fields >> name >> type_tag >> col.distinct_values >>
-            col.min_value >> col.max_value)) {
+      if (!(fields >> name >> type_tag)) {
+        return Status::InvalidArgument("malformed col record");
+      }
+      DSM_ASSIGN_OR_RETURN(col.distinct_values,
+                           ReadFiniteNonNegative(&fields, "distinct count"));
+      if (!(fields >> col.min_value >> col.max_value) ||
+          !std::isfinite(col.min_value) || !std::isfinite(col.max_value)) {
         return Status::InvalidArgument("malformed col record");
       }
       col.name = Unescape(name);
@@ -230,82 +503,44 @@ Result<MarketState> ReadMarketState(std::istream* in) {
       pending_table.columns.push_back(std::move(col));
     } else if (kind == "place") {
       DSM_RETURN_IF_ERROR(flush_table());
-      TableId table = 0;
-      ServerId server = 0;
-      if (!(fields >> table >> server)) {
-        return Status::InvalidArgument("malformed place record");
-      }
-      DSM_RETURN_IF_ERROR(state.cluster.PlaceTable(table, server));
-    } else if (kind == "sharing") {
-      DSM_RETURN_IF_ERROR(flush_table());
-      SharingStateEntry entry;
-      uint64_t mask = 0;
-      ServerId dest = 0;
-      std::string buyer;
-      if (!(fields >> entry.id >> dest >> buyer >> mask >>
-            sharing_preds_left)) {
-        return Status::InvalidArgument("malformed sharing record");
-      }
-      sharing_tables = TableSet(mask);
-      sharing_preds.clear();
-      entry.sharing = Sharing(TableSet(), {}, dest, Unescape(buyer));
-      state.sharings.push_back(std::move(entry));
-      open_sharing = &state.sharings.back();
-      plan_nodes_left = 0;
-      node_preds_left = 0;
-      finalize_sharing_header();
-    } else if (kind == "pred") {
-      DSM_ASSIGN_OR_RETURN(const Predicate p, ParsePredicate(&fields));
-      if (open_sharing == nullptr) {
-        return Status::InvalidArgument("pred record outside sharing");
-      }
-      if (sharing_preds_left > 0) {
-        sharing_preds.push_back(p);
-        --sharing_preds_left;
-        finalize_sharing_header();
-      } else if (node_preds_left > 0) {
-        open_sharing->plan.nodes.back().key.predicates.push_back(p);
-        --node_preds_left;
-        if (node_preds_left == 0) {
-          NormalizePredicates(
-              &open_sharing->plan.nodes.back().key.predicates);
-        }
-      } else {
-        return Status::InvalidArgument("unexpected pred record");
-      }
-    } else if (kind == "plan") {
-      if (open_sharing == nullptr || sharing_preds_left != 0) {
-        return Status::InvalidArgument("plan record outside sharing");
-      }
-      if (!(fields >> plan_nodes_left)) {
-        return Status::InvalidArgument("malformed plan record");
-      }
-    } else if (kind == "node") {
-      if (open_sharing == nullptr || plan_nodes_left == 0) {
-        return Status::InvalidArgument("unexpected node record");
-      }
-      int type = 0;
-      uint64_t mask = 0;
-      PlanNode node;
-      if (!(fields >> type >> node.server >> node.left >> node.right >>
-            node.base_table >> mask >> node_preds_left)) {
-        return Status::InvalidArgument("malformed node record");
-      }
-      if (type < 0 || type > 2) {
-        return Status::InvalidArgument("bad node type");
-      }
-      node.type = static_cast<PlanNodeType>(type);
-      node.key.tables = TableSet(mask);
-      open_sharing->plan.nodes.push_back(std::move(node));
-      --plan_nodes_left;
+      DSM_ASSIGN_OR_RETURN(
+          const long long table,
+          ReadCount(&fields, "place table", TableSet::kMaxTables - 1));
+      DSM_ASSIGN_OR_RETURN(
+          const long long server,
+          ReadCount(&fields, "place server",
+                    static_cast<long long>(state.cluster.num_servers()) -
+                        1));
+      DSM_RETURN_IF_ERROR(state.cluster.PlaceTable(
+          static_cast<TableId>(table), static_cast<ServerId>(server)));
     } else {
-      return Status::InvalidArgument("unknown record kind: " + kind);
+      bool handled = false;
+      if (kind == "sharing") {
+        DSM_RETURN_IF_ERROR(flush_table());
+        any_sharing_seen = true;
+      }
+      DSM_RETURN_IF_ERROR(sharings.Feed(kind, &fields, &handled));
+      if (!handled) {
+        return Status::InvalidArgument("unknown record kind: " + kind);
+      }
     }
   }
   DSM_RETURN_IF_ERROR(flush_table());
-  if (sharing_preds_left != 0 || plan_nodes_left != 0 ||
-      node_preds_left != 0) {
-    return Status::InvalidArgument("truncated market state");
+  DSM_RETURN_IF_ERROR(sharings.Finish());
+  state.sharings = std::move(sharings.entries());
+
+  // Server ids inside sharing blocks are validated against the final
+  // cluster (the parser above runs before all servers are known only when
+  // the file is malformed; writers emit servers first).
+  for (const SharingStateEntry& entry : state.sharings) {
+    if (entry.sharing.destination() >= state.cluster.num_servers()) {
+      return Status::InvalidArgument("sharing destination out of range");
+    }
+    for (const PlanNode& node : entry.plan.nodes) {
+      if (node.server >= state.cluster.num_servers()) {
+        return Status::InvalidArgument("plan node server out of range");
+      }
+    }
   }
   return state;
 }

@@ -51,8 +51,26 @@ Result<std::string> MarketStateToString(const Catalog& catalog,
                                         const Cluster& cluster,
                                         const GlobalPlan* global_plan);
 
+// --- Sharing-record grammar (shared with the plan journal) -----------------
+
+// Appends the "sharing"/"pred"/"plan"/"node" block for one integrated
+// sharing to `out`, exactly as it appears inside a market-state file. The
+// PlanJournal frames these blocks as its record payloads.
+void WriteSharingRecord(SharingId id, const Sharing& sharing,
+                        const SharingPlan& plan, std::ostream* out);
+
+// Parses one complete block produced by WriteSharingRecord. When
+// `num_servers` is nonzero every server id in the block must be below it;
+// 0 skips the range check (for callers with no cluster at hand).
+Result<SharingStateEntry> ParseSharingRecord(const std::string& block,
+                                             size_t num_servers = 0);
+
 // --- Reading ---------------------------------------------------------------
 
+// Parses a market-state file. Malformed input — negative counts,
+// out-of-range server/table ids, non-finite statistics, truncated blocks —
+// is rejected with kInvalidArgument; the parser never crashes or silently
+// mis-reads.
 Result<MarketState> ReadMarketState(std::istream* in);
 Result<MarketState> MarketStateFromString(const std::string& text);
 

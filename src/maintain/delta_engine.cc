@@ -85,7 +85,7 @@ Status DeltaEngine::ApplyUpdate(TableId table,
   // Propagate to every view over `table`: ΔV = σ(ΔT) ⋈ σ(T_other) ...,
   // using the *current* (pre-update) state of the other base tables.
   for (View& view : views_) {
-    if (!view.key.tables.Contains(table)) continue;
+    if (!view.active || !view.key.tables.Contains(table)) continue;
     Relation cur = ApplyTablePredicates(view.key, table, delta);
     for (const TableId other : view.key.tables.ToVector()) {
       if (other == table) continue;
@@ -108,6 +108,24 @@ Status DeltaEngine::ApplyUpdate(TableId table,
   for (const auto& [tuple, count] : delta.rows()) {
     base_it->second.Apply(tuple, count);
   }
+  return Status::OK();
+}
+
+Status DeltaEngine::SetViewActive(ViewId id, bool active) {
+  if (id >= views_.size()) {
+    return Status::NotFound("unknown view id");
+  }
+  View& view = views_[id];
+  if (view.active == active) return Status::OK();
+  if (!active) {
+    // The machine holding the view is gone; so are its contents.
+    view.contents = Relation(view.contents.columns());
+    view.active = false;
+    return Status::OK();
+  }
+  DSM_ASSIGN_OR_RETURN(view.contents,
+                       Recompute(view.key, view.projection));
+  view.active = true;
   return Status::OK();
 }
 

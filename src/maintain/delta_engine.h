@@ -48,6 +48,15 @@ class DeltaEngine {
   Status ApplyUpdate(TableId table, const std::vector<Tuple>& inserts,
                      const std::vector<Tuple>& deletes);
 
+  // Degraded mode: an inactive view is not maintained (its contents are
+  // dropped — the hosting machine is gone). Reactivating recomputes the
+  // view from the current base tables, the provider's recovery story for
+  // a sharing re-admitted after being parked.
+  Status SetViewActive(ViewId id, bool active);
+  bool view_active(ViewId id) const {
+    return id < views_.size() && views_[id].active;
+  }
+
   // nullptr when not registered.
   const Relation* base(TableId table) const;
   const Relation* view(ViewId id) const;
@@ -69,6 +78,7 @@ class DeltaEngine {
     ViewKey key;
     std::vector<std::string> projection;  // empty = all columns
     Relation contents;
+    bool active = true;
   };
 
   // Filters `rel` by the key's predicates that apply to `table`.

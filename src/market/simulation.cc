@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fault.h"
+
 namespace dsm {
 
 namespace {
@@ -44,9 +46,118 @@ Status MarketSimulation::AddBuyerView(SharingId id, const ViewKey& key) {
   return Status::OK();
 }
 
+void MarketSimulation::AttachFaultDomain(Cluster* cluster,
+                                         RecoveryPlanner* recovery) {
+  cluster_ = cluster;
+  recovery_ = recovery;
+}
+
+Status MarketSimulation::ScheduleServerFailure(int tick, ServerId server) {
+  if (cluster_ == nullptr || recovery_ == nullptr) {
+    return Status::InvalidArgument(
+        "attach a fault domain before scheduling failures");
+  }
+  if (server >= cluster_->num_servers()) {
+    return Status::InvalidArgument("no such server");
+  }
+  events_.push_back(ServerEvent{tick, server, /*up=*/false});
+  return Status::OK();
+}
+
+Status MarketSimulation::ScheduleServerRecovery(int tick, ServerId server) {
+  if (cluster_ == nullptr || recovery_ == nullptr) {
+    return Status::InvalidArgument(
+        "attach a fault domain before scheduling recoveries");
+  }
+  if (server >= cluster_->num_servers()) {
+    return Status::InvalidArgument("no such server");
+  }
+  events_.push_back(ServerEvent{tick, server, /*up=*/true});
+  return Status::OK();
+}
+
+Status MarketSimulation::SetSharingViewActive(SharingId id, bool active) {
+  const auto it = buyer_views_.find(id);
+  // Sharings without a registered buyer view (planned but not simulated)
+  // have nothing to deactivate.
+  if (it == buyer_views_.end()) return Status::OK();
+  return engine_.SetViewActive(it->second, active);
+}
+
+Status MarketSimulation::HandleServerDown(ServerId server) {
+  DSM_RETURN_IF_ERROR(cluster_->MarkDown(server));
+  DSM_ASSIGN_OR_RETURN(const RecoveryReport report,
+                       recovery_->OnServerDown(server, ticks_elapsed_));
+  ++stats_.failures;
+  stats_.last_event_tick = ticks_elapsed_;
+  for (const MigratedSharing& m : report.migrated) {
+    ++stats_.migrated;
+    stats_.migration_cost_delta += m.cost_after - m.cost_before;
+  }
+  for (const SharingId id : report.parked) {
+    ++stats_.parked;
+    DSM_RETURN_IF_ERROR(SetSharingViewActive(id, false));
+  }
+  return Status::OK();
+}
+
+Status MarketSimulation::ApplyReadmissions(
+    const std::vector<MigratedSharing>& readmitted) {
+  for (const MigratedSharing& m : readmitted) {
+    ++stats_.readmitted;
+    stats_.migration_cost_delta += m.cost_after - m.cost_before;
+    DSM_RETURN_IF_ERROR(SetSharingViewActive(m.id, true));
+  }
+  return Status::OK();
+}
+
+Status MarketSimulation::HandleServerUp(ServerId server) {
+  DSM_RETURN_IF_ERROR(cluster_->MarkUp(server));
+  ++stats_.recoveries;
+  stats_.last_event_tick = ticks_elapsed_;
+  // Capacity just returned: retry every parked sharing immediately.
+  DSM_ASSIGN_OR_RETURN(
+      const std::vector<MigratedSharing> readmitted,
+      recovery_->RetryParked(ticks_elapsed_, /*force=*/true));
+  return ApplyReadmissions(readmitted);
+}
+
+Status MarketSimulation::ProcessServerEvents() {
+  if (cluster_ == nullptr || recovery_ == nullptr) return Status::OK();
+
+  for (auto it = events_.begin(); it != events_.end();) {
+    if (it->tick != ticks_elapsed_) {
+      ++it;
+      continue;
+    }
+    const ServerEvent event = *it;
+    it = events_.erase(it);
+    DSM_RETURN_IF_ERROR(event.up ? HandleServerUp(event.server)
+                                 : HandleServerDown(event.server));
+  }
+
+  // Probabilistic chaos, armed by tests/demos: kill a random live server.
+  if (DSM_INJECT_FAULT("sim/random-server-failure") &&
+      cluster_->num_live_servers() > 0) {
+    const std::vector<ServerId> live = cluster_->live_servers();
+    const ServerId victim = live[static_cast<size_t>(rng_.UniformInt(
+        0, static_cast<int64_t>(live.size()) - 1))];
+    DSM_RETURN_IF_ERROR(HandleServerDown(victim));
+  }
+
+  // Parked sharings whose backoff elapsed get another chance.
+  if (recovery_->num_parked() > 0) {
+    DSM_ASSIGN_OR_RETURN(const std::vector<MigratedSharing> readmitted,
+                         recovery_->RetryParked(ticks_elapsed_));
+    DSM_RETURN_IF_ERROR(ApplyReadmissions(readmitted));
+  }
+  return Status::OK();
+}
+
 Status MarketSimulation::Run(int ticks, double scale,
                              double delete_fraction) {
   for (int tick = 0; tick < ticks; ++tick) {
+    DSM_RETURN_IF_ERROR(ProcessServerEvents());
     // Per-table batch sizes derive from the catalog's update rates: the
     // same statistics the planners' cost model consumed.
     for (TableId t = 0; t < catalog_->num_tables(); ++t) {
@@ -81,6 +192,7 @@ Status MarketSimulation::Run(int ticks, double scale,
 
 Result<bool> MarketSimulation::VerifyViews() const {
   for (const auto& [id, view] : buyer_views_) {
+    if (!engine_.view_active(view)) continue;  // parked: nothing served
     DSM_ASSIGN_OR_RETURN(const Relation expected,
                          engine_.Recompute(engine_.view_key(view)));
     if (!engine_.view(view)->BagEquals(expected)) {

@@ -1,0 +1,110 @@
+#include "online/recovery_planner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dsm {
+
+Result<double> RecoveryPlanner::PlanOnLiveServers(SharingId id,
+                                                 const Sharing& sharing) {
+  GlobalPlan* gp = ctx_.global_plan;
+  DSM_ASSIGN_OR_RETURN(const std::vector<SharingPlan> plans,
+                       ctx_.enumerator->Enumerate(sharing));
+  const SharingPlan* best = nullptr;
+  double best_marginal = std::numeric_limits<double>::infinity();
+  for (const SharingPlan& plan : plans) {
+    const GlobalPlan::PlanEvaluation eval = gp->EvaluatePlan(plan);
+    if (!eval.feasible) continue;
+    if (eval.marginal_cost < best_marginal) {
+      best_marginal = eval.marginal_cost;
+      best = &plan;
+    }
+  }
+  if (best == nullptr) {
+    return Status::CapacityExceeded(
+        "no plan fits on the live servers; sharing parked");
+  }
+  DSM_ASSIGN_OR_RETURN(const GlobalPlan::PlanEvaluation eval,
+                       gp->AddSharing(id, sharing, *best));
+  return eval.marginal_cost;
+}
+
+Result<RecoveryReport> RecoveryPlanner::OnServerDown(ServerId server,
+                                                     int64_t now_tick) {
+  GlobalPlan* gp = ctx_.global_plan;
+  RecoveryReport report;
+  report.server = server;
+  report.cost_before = gp->TotalCost();
+
+  // Collect and detach every victim first: migration must re-plan against
+  // a global plan that no longer offers the dead server's views for reuse.
+  struct Victim {
+    SharingId id;
+    Sharing sharing;
+    double old_marginal;
+  };
+  std::vector<Victim> victims;
+  for (const SharingId id : gp->SharingsTouchingServer(server)) {
+    const GlobalPlan::SharingRecord* rec = gp->record(id);
+    victims.push_back(Victim{id, rec->sharing, rec->marginal_cost});
+  }
+  for (const Victim& v : victims) {
+    DSM_RETURN_IF_ERROR(gp->RemoveSharing(v.id));
+  }
+
+  for (const Victim& v : victims) {
+    const Result<double> migrated = PlanOnLiveServers(v.id, v.sharing);
+    if (migrated.ok()) {
+      report.migrated.push_back(
+          MigratedSharing{v.id, v.old_marginal, *migrated, true});
+      continue;
+    }
+    if (migrated.status().code() != StatusCode::kCapacityExceeded) {
+      return migrated.status();
+    }
+    ParkedSharing parked;
+    parked.id = v.id;
+    parked.sharing = v.sharing;
+    parked.cost_before = v.old_marginal;
+    parked.attempts = 0;
+    parked.backoff_ticks = options_.initial_backoff_ticks;
+    parked.next_retry_tick = now_tick + parked.backoff_ticks;
+    parked_.push_back(std::move(parked));
+    report.parked.push_back(v.id);
+  }
+
+  report.cost_after = gp->TotalCost();
+  return report;
+}
+
+Result<std::vector<MigratedSharing>> RecoveryPlanner::RetryParked(
+    int64_t now_tick, bool force) {
+  std::vector<MigratedSharing> readmitted;
+  std::vector<ParkedSharing> still_parked;
+  still_parked.reserve(parked_.size());
+
+  for (ParkedSharing& p : parked_) {
+    if (!force && now_tick < p.next_retry_tick) {
+      still_parked.push_back(std::move(p));
+      continue;
+    }
+    const Result<double> placed = PlanOnLiveServers(p.id, p.sharing);
+    if (placed.ok()) {
+      readmitted.push_back(
+          MigratedSharing{p.id, p.cost_before, *placed, false});
+      continue;
+    }
+    if (placed.status().code() != StatusCode::kCapacityExceeded) {
+      return placed.status();
+    }
+    ++p.attempts;
+    p.backoff_ticks =
+        std::min(p.backoff_ticks * 2, options_.max_backoff_ticks);
+    p.next_retry_tick = now_tick + p.backoff_ticks;
+    still_parked.push_back(std::move(p));
+  }
+  parked_ = std::move(still_parked);
+  return readmitted;
+}
+
+}  // namespace dsm

@@ -1,0 +1,103 @@
+// RecoveryPlanner: degraded-mode replanning after server loss.
+//
+// The Replanner (Section 7's future-work item) improves a healthy global
+// plan; this class repairs a wounded one. When a server goes down, every
+// view materialized on it is lost, so each sharing whose plan closure
+// touches the dead machine must be re-planned: the recovery planner
+// removes the victims, then re-runs Algorithm 2 for each one restricted to
+// live servers (plans placing any work on a down server are infeasible —
+// see GlobalPlan::EvaluatePlan) and commits the cheapest feasible plan.
+//
+// Sharings that no longer fit anywhere — destination dead, a member
+// table's home machine dead, or live capacity exhausted — are *parked*
+// with kCapacityExceeded rather than dropped: they wait in a retry queue
+// with bounded exponential backoff (in simulation ticks) and are
+// re-admitted automatically once capacity returns. Every migration reports
+// the marginal-cost delta so FAIRCOST can re-price the surviving sharings.
+
+#ifndef DSM_ONLINE_RECOVERY_PLANNER_H_
+#define DSM_ONLINE_RECOVERY_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "online/planner.h"
+
+namespace dsm {
+
+struct RecoveryOptions {
+  // Backoff before the first retry of a parked sharing, in ticks.
+  int64_t initial_backoff_ticks = 1;
+  // Backoff doubles per failed retry up to this bound.
+  int64_t max_backoff_ticks = 64;
+};
+
+// One sharing moved to a new plan on live servers.
+struct MigratedSharing {
+  SharingId id = 0;
+  double cost_before = 0.0;  // marginal cost under the old plan
+  double cost_after = 0.0;   // marginal cost under the new plan
+  // False when the sharing was re-admitted from the parked queue (there
+  // was no live plan to compare against).
+  bool was_active = true;
+};
+
+// A sharing the provider currently cannot serve.
+struct ParkedSharing {
+  SharingId id = 0;
+  Sharing sharing;
+  double cost_before = 0.0;  // marginal cost when it was last active
+  int attempts = 0;          // failed re-admission attempts so far
+  int64_t backoff_ticks = 0;
+  int64_t next_retry_tick = 0;
+};
+
+struct RecoveryReport {
+  ServerId server = 0;       // the machine that was lost
+  double cost_before = 0.0;  // global plan cost including the dead views
+  double cost_after = 0.0;
+  std::vector<MigratedSharing> migrated;
+  std::vector<SharingId> parked;  // newly parked sharings
+};
+
+class RecoveryPlanner {
+ public:
+  explicit RecoveryPlanner(PlannerContext context,
+                           RecoveryOptions options = {})
+      : ctx_(context), options_(options) {}
+
+  RecoveryPlanner(const RecoveryPlanner&) = delete;
+  RecoveryPlanner& operator=(const RecoveryPlanner&) = delete;
+
+  // Handles the loss of `server` (the caller has already MarkDown()ed it
+  // on the cluster): removes every affected sharing from the global plan,
+  // migrates the recoverable ones to live servers, parks the rest.
+  // `now_tick` anchors the parked sharings' retry backoff.
+  Result<RecoveryReport> OnServerDown(ServerId server, int64_t now_tick);
+
+  // Attempts to re-admit parked sharings. Without `force`, only sharings
+  // whose backoff has elapsed at `now_tick` are tried; with `force` (e.g.
+  // right after a server returned) every parked sharing is tried. Returns
+  // the sharings that were re-admitted; the rest back off further.
+  Result<std::vector<MigratedSharing>> RetryParked(int64_t now_tick,
+                                                   bool force = false);
+
+  const std::vector<ParkedSharing>& parked() const { return parked_; }
+  size_t num_parked() const { return parked_.size(); }
+
+  const PlannerContext& context() const { return ctx_; }
+
+ private:
+  // Algorithm 2 restricted to live servers: cheapest feasible plan for
+  // `sharing`, committed under `id`. kCapacityExceeded when nothing fits.
+  Result<double> PlanOnLiveServers(SharingId id, const Sharing& sharing);
+
+  PlannerContext ctx_;
+  RecoveryOptions options_;
+  std::vector<ParkedSharing> parked_;
+};
+
+}  // namespace dsm
+
+#endif  // DSM_ONLINE_RECOVERY_PLANNER_H_

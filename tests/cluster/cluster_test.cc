@@ -52,6 +52,58 @@ TEST(ClusterTest, RoundRobinPlacement) {
   }
 }
 
+TEST(ClusterTest, MarkDownRevokesCapacity) {
+  Cluster cluster;
+  cluster.AddServer("s0", 100.0);
+  cluster.AddServer("s1", 200.0);
+  EXPECT_EQ(cluster.num_live_servers(), 2u);
+  EXPECT_TRUE(cluster.is_up(1));
+  EXPECT_DOUBLE_EQ(cluster.effective_capacity(1), 200.0);
+
+  ASSERT_TRUE(cluster.MarkDown(1).ok());
+  EXPECT_FALSE(cluster.is_up(1));
+  EXPECT_DOUBLE_EQ(cluster.effective_capacity(1), 0.0);
+  EXPECT_EQ(cluster.num_live_servers(), 1u);
+  // The rated capacity is remembered for when the machine returns.
+  EXPECT_DOUBLE_EQ(cluster.server(1).capacity_tuples_per_unit, 200.0);
+
+  ASSERT_TRUE(cluster.MarkUp(1).ok());
+  EXPECT_TRUE(cluster.is_up(1));
+  EXPECT_DOUBLE_EQ(cluster.effective_capacity(1), 200.0);
+  EXPECT_EQ(cluster.num_live_servers(), 2u);
+}
+
+TEST(ClusterTest, MarkDownAndUpAreIdempotent) {
+  Cluster cluster;
+  cluster.AddServer("s0");
+  ASSERT_TRUE(cluster.MarkDown(0).ok());
+  ASSERT_TRUE(cluster.MarkDown(0).ok());
+  EXPECT_EQ(cluster.num_live_servers(), 0u);
+  ASSERT_TRUE(cluster.MarkUp(0).ok());
+  ASSERT_TRUE(cluster.MarkUp(0).ok());
+  EXPECT_EQ(cluster.num_live_servers(), 1u);
+}
+
+TEST(ClusterTest, LivenessRejectsUnknownServer) {
+  Cluster cluster;
+  cluster.AddServer("s0");
+  EXPECT_EQ(cluster.MarkDown(7).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cluster.MarkUp(7).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(cluster.is_up(7));
+  EXPECT_DOUBLE_EQ(cluster.effective_capacity(7), 0.0);
+}
+
+TEST(ClusterTest, LiveServersListsOnlySurvivors) {
+  Cluster cluster;
+  cluster.AddServer("s0");
+  cluster.AddServer("s1");
+  cluster.AddServer("s2");
+  ASSERT_TRUE(cluster.MarkDown(1).ok());
+  EXPECT_EQ(cluster.live_servers(), (std::vector<ServerId>{0, 2}));
+  ASSERT_TRUE(cluster.MarkUp(1).ok());
+  EXPECT_EQ(cluster.live_servers(), (std::vector<ServerId>{0, 1, 2}));
+}
+
 TEST(ClusterTest, RatesDefaultAndOverride) {
   Cluster cluster;
   EXPECT_GT(cluster.rates().cpu_per_tuple, 0.0);

@@ -1,0 +1,151 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dsm {
+namespace {
+
+// Every test runs against the process-wide injector; reset around each so
+// armed points never leak between tests (the RAII guard is itself under
+// test here).
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultTest, UnarmedPointNeverFires) {
+  auto& injector = FaultInjector::Global();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(injector.ShouldFail("never/armed"));
+  }
+  EXPECT_FALSE(injector.armed("never/armed"));
+  EXPECT_EQ(injector.hits("never/armed"), 10);
+  EXPECT_EQ(injector.fires("never/armed"), 0);
+}
+
+TEST_F(FaultTest, DefaultSpecFiresEveryHit) {
+  ScopedFault fault("always");
+  auto& injector = FaultInjector::Global();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(DSM_INJECT_FAULT("always"));
+  }
+  EXPECT_EQ(injector.hits("always"), 5);
+  EXPECT_EQ(injector.fires("always"), 5);
+}
+
+TEST_F(FaultTest, FailAfterSkipsEarlyHits) {
+  FaultSpec spec;
+  spec.fail_after = 3;
+  ScopedFault fault("third-time", spec);
+  auto& injector = FaultInjector::Global();
+  EXPECT_FALSE(injector.ShouldFail("third-time"));
+  EXPECT_FALSE(injector.ShouldFail("third-time"));
+  EXPECT_FALSE(injector.ShouldFail("third-time"));
+  EXPECT_TRUE(injector.ShouldFail("third-time"));
+  EXPECT_TRUE(injector.ShouldFail("third-time"));
+}
+
+TEST_F(FaultTest, MaxFiresBoundsTheDamage) {
+  FaultSpec spec;
+  spec.max_fires = 2;
+  ScopedFault fault("twice", spec);
+  auto& injector = FaultInjector::Global();
+  EXPECT_TRUE(injector.ShouldFail("twice"));
+  EXPECT_TRUE(injector.ShouldFail("twice"));
+  EXPECT_FALSE(injector.ShouldFail("twice"));
+  EXPECT_FALSE(injector.ShouldFail("twice"));
+  EXPECT_EQ(injector.fires("twice"), 2);
+  EXPECT_EQ(injector.hits("twice"), 4);
+}
+
+TEST_F(FaultTest, SingleCrashSpec) {
+  // fail_after + max_fires = 1 models "exactly the N+1-th op crashes".
+  FaultSpec spec;
+  spec.fail_after = 2;
+  spec.max_fires = 1;
+  ScopedFault fault("one-crash", spec);
+  auto& injector = FaultInjector::Global();
+  std::vector<bool> outcomes;
+  for (int i = 0; i < 6; ++i) {
+    outcomes.push_back(injector.ShouldFail("one-crash"));
+  }
+  EXPECT_EQ(outcomes,
+            (std::vector<bool>{false, false, true, false, false, false}));
+}
+
+TEST_F(FaultTest, ProbabilisticTriggerIsDeterministicUnderSeed) {
+  auto& injector = FaultInjector::Global();
+  FaultSpec spec;
+  spec.probability = 0.5;
+
+  injector.Seed(42);
+  injector.Arm("coin", spec);
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) first.push_back(injector.ShouldFail("coin"));
+
+  // Re-seeding + re-arming replays the exact same fire pattern.
+  injector.Seed(42);
+  injector.Arm("coin", spec);
+  std::vector<bool> second;
+  for (int i = 0; i < 64; ++i) second.push_back(injector.ShouldFail("coin"));
+
+  EXPECT_EQ(first, second);
+  // And p=0.5 over 64 draws fires at least once but not always.
+  int fires = 0;
+  for (const bool b : first) fires += b ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+  injector.Disarm("coin");
+}
+
+TEST_F(FaultTest, ArmReplacesSpecAndResetsCounters) {
+  auto& injector = FaultInjector::Global();
+  injector.Arm("p");
+  EXPECT_TRUE(injector.ShouldFail("p"));
+  EXPECT_EQ(injector.hits("p"), 1);
+  FaultSpec never;
+  never.probability = 0.0;
+  injector.Arm("p", never);
+  EXPECT_EQ(injector.hits("p"), 0);
+  EXPECT_FALSE(injector.ShouldFail("p"));
+  injector.Disarm("p");
+}
+
+TEST_F(FaultTest, DisarmStopsFiringButKeepsCounters) {
+  auto& injector = FaultInjector::Global();
+  injector.Arm("d");
+  EXPECT_TRUE(injector.ShouldFail("d"));
+  injector.Disarm("d");
+  EXPECT_FALSE(injector.armed("d"));
+  EXPECT_FALSE(injector.ShouldFail("d"));
+  EXPECT_EQ(injector.hits("d"), 2);
+  EXPECT_EQ(injector.fires("d"), 1);
+}
+
+TEST_F(FaultTest, ScopedFaultDisarmsOnExit) {
+  auto& injector = FaultInjector::Global();
+  {
+    ScopedFault fault("scoped");
+    EXPECT_TRUE(injector.armed("scoped"));
+    EXPECT_TRUE(DSM_INJECT_FAULT("scoped"));
+  }
+  EXPECT_FALSE(injector.armed("scoped"));
+  EXPECT_FALSE(DSM_INJECT_FAULT("scoped"));
+}
+
+TEST_F(FaultTest, ResetClearsEverything) {
+  auto& injector = FaultInjector::Global();
+  injector.Arm("r");
+  EXPECT_TRUE(injector.ShouldFail("r"));
+  injector.Reset();
+  EXPECT_FALSE(injector.armed("r"));
+  EXPECT_EQ(injector.hits("r"), 0);
+  EXPECT_EQ(injector.fires("r"), 0);
+  EXPECT_FALSE(injector.ShouldFail("r"));
+}
+
+}  // namespace
+}  // namespace dsm

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "cost/default_cost_model.h"
 #include "online/managed_risk.h"
 #include "testing/rig.h"
@@ -159,6 +160,170 @@ TEST(MarketIoTest, TruncatedPlanRejected) {
       "plan 2\n"
       "node 0 0 -1 -1 0 1 0\n";  // one node missing
   EXPECT_FALSE(MarketStateFromString(text).ok());
+}
+
+// A syntactically valid prefix around which the hardening tests mutate.
+constexpr const char* kValidTail =
+    "sharing 1 0 buyer 1 0\n"
+    "plan 1\n"
+    "node 0 0 -1 -1 0 1 0\n";
+
+std::string WithHeader(const std::string& body) {
+  return std::string("dsm-market v1\nserver s0 1e30\n") + body;
+}
+
+TEST(MarketIoTest, NegativeCountsRejected) {
+  // Counts are read as signed and bounds-checked: "-1" must be rejected,
+  // not wrapped into a huge unsigned allocation request.
+  EXPECT_EQ(MarketStateFromString(
+                WithHeader("table t 10 1 8 -1\n"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MarketStateFromString(
+                WithHeader("sharing 1 0 buyer 1 -2\n"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MarketStateFromString(
+                WithHeader("sharing 1 0 buyer 1 0\nplan -5\n"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MarketStateFromString(
+                WithHeader("sharing 1 0 buyer 1 0\nplan 1\n"
+                           "node 0 0 -1 -1 0 1 -3\n"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Absurdly large counts are rejected before any allocation, too.
+  EXPECT_EQ(MarketStateFromString(
+                WithHeader("sharing 1 0 buyer 1 0\nplan 1099511627776\n"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MarketIoTest, OutOfRangeIdsRejected) {
+  // One server exists; every id referencing beyond it must fail.
+  EXPECT_FALSE(
+      MarketStateFromString(WithHeader("place 0 7\n")).ok());
+  EXPECT_FALSE(
+      MarketStateFromString(WithHeader("place 99 0\n")).ok());
+  EXPECT_FALSE(MarketStateFromString(
+                   WithHeader("sharing 1 9 buyer 1 0\n"
+                              "plan 1\nnode 0 9 -1 -1 0 1 0\n"))
+                   .ok());
+  EXPECT_FALSE(MarketStateFromString(
+                   WithHeader("sharing 1 0 buyer 1 0\n"
+                              "plan 1\nnode 0 5 -1 -1 0 1 0\n"))
+                   .ok());
+  // Predicate table/column beyond their domains.
+  EXPECT_FALSE(MarketStateFromString(
+                   WithHeader("sharing 1 0 buyer 1 1\n"
+                              "pred 64 0 0 1.0\n" +
+                              std::string("plan 1\n"
+                                          "node 0 0 -1 -1 0 1 0\n")))
+                   .ok());
+  EXPECT_FALSE(MarketStateFromString(
+                   WithHeader("sharing 1 0 buyer 1 1\n"
+                              "pred 0 0 9 1.0\n" +
+                              std::string("plan 1\n"
+                                          "node 0 0 -1 -1 0 1 0\n")))
+                   .ok());
+}
+
+TEST(MarketIoTest, MalformedPlanShapeRejected) {
+  // Leaf with a child, join missing one, child index referencing itself.
+  EXPECT_FALSE(MarketStateFromString(
+                   WithHeader("sharing 1 0 buyer 1 0\n"
+                              "plan 1\nnode 0 0 0 -1 0 1 0\n"))
+                   .ok());
+  EXPECT_FALSE(MarketStateFromString(
+                   WithHeader("sharing 1 0 buyer 3 0\n"
+                              "plan 2\nnode 0 0 -1 -1 0 1 0\n"
+                              "node 1 0 0 -1 1 3 0\n"))
+                   .ok());
+  EXPECT_FALSE(MarketStateFromString(
+                   WithHeader("sharing 1 0 buyer 1 0\n"
+                              "plan 1\nnode 2 0 0 -1 0 1 0\n"))
+                   .ok());
+}
+
+TEST(MarketIoTest, BadServerCapacityRejected) {
+  EXPECT_FALSE(MarketStateFromString("dsm-market v1\nserver s0 nan\n").ok());
+  EXPECT_FALSE(MarketStateFromString("dsm-market v1\nserver s0 -5\n").ok());
+  EXPECT_FALSE(
+      MarketStateFromString("dsm-market v1\nserver s0 12abc\n").ok());
+  // "inf" (an uncapped server) stays legal.
+  EXPECT_TRUE(MarketStateFromString("dsm-market v1\nserver s0 inf\n").ok());
+}
+
+TEST(MarketIoTest, ServerRecordAfterSharingsRejected) {
+  EXPECT_FALSE(MarketStateFromString(WithHeader(std::string(kValidTail) +
+                                                "server s1 1e30\n"))
+                   .ok());
+}
+
+TEST(MarketIoTest, ParseSharingRecordChecksServerRange) {
+  const auto ok = ParseSharingRecord(kValidTail, /*num_servers=*/1);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->id, 1u);
+  // num_servers = 0 skips the range check entirely.
+  EXPECT_TRUE(ParseSharingRecord(kValidTail, 0).ok());
+  const std::string far_server =
+      "sharing 1 3 buyer 1 0\nplan 1\nnode 0 3 -1 -1 0 1 0\n";
+  EXPECT_FALSE(ParseSharingRecord(far_server, /*num_servers=*/2).ok());
+  EXPECT_TRUE(ParseSharingRecord(far_server, /*num_servers=*/4).ok());
+  // Truncation mid-block is an error here (the journal handles framing).
+  EXPECT_FALSE(ParseSharingRecord("sharing 1 0 buyer 1 0\nplan 1\n", 1).ok());
+}
+
+TEST(MarketIoTest, FuzzedInputNeverCrashes) {
+  // A valid serialized market, then hundreds of random truncations and
+  // byte flips: every mutation must either parse or fail cleanly with a
+  // status — no crash, hang, or runaway allocation.
+  Catalog catalog;
+  const auto tables = BuildTwitterCatalog(&catalog);
+  ASSERT_TRUE(tables.ok());
+  Cluster cluster;
+  for (int i = 0; i < 3; ++i) cluster.AddServer("m" + std::to_string(i));
+  cluster.PlaceRoundRobin(catalog.num_tables());
+  const JoinGraph graph = JoinGraph::FromCatalog(catalog);
+  DefaultCostModel model(&catalog, &cluster);
+  PlanEnumerator enumerator(&catalog, &cluster, &graph, &model, {});
+  GlobalPlan gp(&cluster, &model);
+  PlannerContext ctx{&catalog, &cluster, &graph, &model, &gp, &enumerator};
+  ManagedRiskPlanner planner(ctx);
+  TwitterSequenceOptions options;
+  options.num_sharings = 5;
+  options.max_predicates = 2;
+  options.seed = 13;
+  for (const Sharing& sharing :
+       GenerateTwitterSequence(catalog, *tables, cluster, options)) {
+    ASSERT_TRUE(planner.ProcessSharing(sharing).ok());
+  }
+  const auto text = MarketStateToString(catalog, cluster, &gp);
+  ASSERT_TRUE(text.ok());
+
+  Rng rng(0xfadedbee);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string mutated = *text;
+    // Truncate at a random point...
+    if (rng.Bernoulli(0.5)) {
+      mutated.resize(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()))));
+    }
+    // ...and/or flip a few random bytes.
+    const int flips = static_cast<int>(rng.UniformInt(0, 4));
+    for (int f = 0; f < flips && !mutated.empty(); ++f) {
+      const auto pos = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    const auto result = MarketStateFromString(mutated);
+    (void)result;  // any Status is fine; not crashing is the assertion
+  }
 }
 
 TEST(MarketIoTest, RestoreRequiresEmptyPlan) {

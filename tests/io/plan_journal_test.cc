@@ -1,0 +1,260 @@
+// PlanJournal: append-only WAL of committed plan choices. Replay must
+// tolerate any torn or corrupted tail — drop the bad suffix, report how
+// much survived, never crash and never error.
+
+#include "io/plan_journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/fault.h"
+#include "cost/default_cost_model.h"
+#include "online/greedy.h"
+#include "workload/twitter.h"
+
+namespace dsm {
+namespace {
+
+struct JournalRig {
+  Catalog catalog;
+  Cluster cluster;
+  TwitterTables tables;
+  std::unique_ptr<JoinGraph> graph;
+  std::unique_ptr<DefaultCostModel> model;
+  std::unique_ptr<PlanEnumerator> enumerator;
+  std::unique_ptr<GlobalPlan> gp;
+  PlannerContext ctx;
+};
+
+std::unique_ptr<JournalRig> MakeJournalRig() {
+  auto rig = std::make_unique<JournalRig>();
+  const auto tables = BuildTwitterCatalog(&rig->catalog);
+  EXPECT_TRUE(tables.ok());
+  rig->tables = *tables;
+  for (int i = 0; i < 3; ++i) {
+    rig->cluster.AddServer("m" + std::to_string(i));
+  }
+  rig->cluster.PlaceRoundRobin(rig->catalog.num_tables());
+  rig->graph =
+      std::make_unique<JoinGraph>(JoinGraph::FromCatalog(rig->catalog));
+  rig->model =
+      std::make_unique<DefaultCostModel>(&rig->catalog, &rig->cluster);
+  rig->enumerator = std::make_unique<PlanEnumerator>(
+      &rig->catalog, &rig->cluster, rig->graph.get(), rig->model.get(),
+      EnumeratorOptions{});
+  rig->gp = std::make_unique<GlobalPlan>(&rig->cluster, rig->model.get());
+  rig->ctx = PlannerContext{&rig->catalog,    &rig->cluster,
+                            rig->graph.get(), rig->model.get(),
+                            rig->gp.get(),    rig->enumerator.get()};
+  return rig;
+}
+
+// Plans `n` Twitter base sharings and journals every committed choice.
+// Choices are returned for later comparison.
+std::vector<PlanChoice> PlanAndJournal(JournalRig* rig, PlanJournal* journal,
+                                       size_t n) {
+  GreedyPlanner planner(rig->ctx);
+  std::vector<PlanChoice> choices;
+  const auto base = TwitterBaseSharings(rig->tables, rig->cluster);
+  for (size_t i = 0; i < n && i < base.size(); ++i) {
+    const auto choice = planner.ProcessSharing(base[i]);
+    EXPECT_TRUE(choice.ok());
+    EXPECT_TRUE(
+        journal->Append(choice->id, base[i], choice->plan).ok());
+    choices.push_back(*choice);
+  }
+  return choices;
+}
+
+TEST(PlanJournalTest, ChecksumMatchesFnv1a64Vectors) {
+  EXPECT_EQ(JournalChecksum(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(JournalChecksum("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(JournalChecksum("plan a"), JournalChecksum("plan b"));
+}
+
+TEST(PlanJournalTest, AppendBeforeOpenRejected) {
+  PlanJournal journal;
+  const Sharing s;
+  EXPECT_EQ(journal.Append(1, s, SharingPlan{}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanJournalTest, EmptyJournalReplaysToNothing) {
+  PlanJournal journal;
+  ASSERT_TRUE(journal.Open().ok());
+  const auto replay = ReplayJournal(journal.contents());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records_recovered, 0u);
+  EXPECT_FALSE(replay->tail_dropped);
+}
+
+TEST(PlanJournalTest, MissingHeaderIsAnError) {
+  EXPECT_FALSE(ReplayJournal("").ok());
+  EXPECT_FALSE(ReplayJournal("not a journal\n").ok());
+}
+
+TEST(PlanJournalTest, RoundTripReplaysEveryRecord) {
+  auto rig = MakeJournalRig();
+  PlanJournal journal;
+  ASSERT_TRUE(journal.Open().ok());
+  const auto choices = PlanAndJournal(rig.get(), &journal, 3);
+  ASSERT_EQ(journal.records_appended(), 3u);
+
+  const auto replay =
+      ReplayJournal(journal.contents(), rig->cluster.num_servers());
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records_recovered, 3u);
+  EXPECT_EQ(replay->bytes_dropped, 0u);
+  EXPECT_FALSE(replay->tail_dropped);
+  ASSERT_EQ(replay->entries.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(replay->entries[i].id, choices[i].id);
+    EXPECT_EQ(replay->entries[i].plan.Signature(),
+              choices[i].plan.Signature());
+  }
+}
+
+TEST(PlanJournalTest, TruncatedTailIsDroppedNotFatal) {
+  auto rig = MakeJournalRig();
+  PlanJournal journal;
+  ASSERT_TRUE(journal.Open().ok());
+  PlanAndJournal(rig.get(), &journal, 3);
+
+  // Chop bytes off the end: whatever prefix of whole frames survives must
+  // replay cleanly; the ragged tail is dropped and accounted for.
+  const std::string& full = journal.contents();
+  for (size_t cut = 1; cut < 40; cut += 7) {
+    const std::string torn = full.substr(0, full.size() - cut);
+    const auto replay = ReplayJournal(torn);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(replay->records_recovered, 2u);
+    EXPECT_TRUE(replay->tail_dropped);
+    EXPECT_GT(replay->bytes_dropped, 0u);
+  }
+}
+
+TEST(PlanJournalTest, CorruptPayloadByteDropsSuffix) {
+  auto rig = MakeJournalRig();
+  PlanJournal journal;
+  ASSERT_TRUE(journal.Open().ok());
+  PlanAndJournal(rig.get(), &journal, 3);
+
+  // Flip one byte in the last record: its checksum no longer matches.
+  std::string damaged = journal.contents();
+  damaged[damaged.size() - 2] ^= 0x20;
+  auto replay = ReplayJournal(damaged);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records_recovered, 2u);
+  EXPECT_TRUE(replay->tail_dropped);
+
+  // Damage in the middle invalidates everything after it: frame
+  // boundaries downstream of a bad frame cannot be trusted.
+  std::string early = journal.contents();
+  early[early.find("rec ") + 4] = 'x';
+  replay = ReplayJournal(early);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records_recovered, 0u);
+  EXPECT_TRUE(replay->tail_dropped);
+}
+
+TEST(PlanJournalTest, TornWriteFaultLeavesRecoverablePrefix) {
+  auto rig = MakeJournalRig();
+  PlanJournal journal;
+  ASSERT_TRUE(journal.Open().ok());
+  const auto base = TwitterBaseSharings(rig->tables, rig->cluster);
+  GreedyPlanner planner(rig->ctx);
+  std::vector<PlanChoice> committed;
+  for (int i = 0; i < 2; ++i) {
+    const auto choice = planner.ProcessSharing(base[i]);
+    ASSERT_TRUE(choice.ok());
+    ASSERT_TRUE(journal.Append(choice->id, base[i], choice->plan).ok());
+    committed.push_back(*choice);
+  }
+
+  // The process "dies" halfway through the third append.
+  const auto choice = planner.ProcessSharing(base[2]);
+  ASSERT_TRUE(choice.ok());
+  {
+    ScopedFault crash("io/journal-append");
+    EXPECT_EQ(journal.Append(choice->id, base[2], choice->plan).code(),
+              StatusCode::kInternal);
+  }
+  EXPECT_EQ(journal.records_appended(), 2u);
+
+  const auto replay = ReplayJournal(journal.contents());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records_recovered, 2u);
+  EXPECT_TRUE(replay->tail_dropped);
+  EXPECT_GT(replay->bytes_dropped, 0u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(replay->entries[i].id, committed[i].id);
+  }
+}
+
+TEST(PlanJournalTest, FileBackedJournalSurvivesReopen) {
+  const std::string path =
+      ::testing::TempDir() + "/dsm_plan_journal_test.log";
+  std::remove(path.c_str());
+
+  auto rig = MakeJournalRig();
+  {
+    PlanJournal journal(path);
+    ASSERT_TRUE(journal.Open().ok());
+    PlanAndJournal(rig.get(), &journal, 2);
+  }
+  // A new process opens the same file and keeps appending.
+  PlanJournal reopened(path);
+  ASSERT_TRUE(reopened.Open().ok());
+  {
+    const auto base = TwitterBaseSharings(rig->tables, rig->cluster);
+    const auto plans = rig->enumerator->Enumerate(base[5]);
+    ASSERT_TRUE(plans.ok());
+    ASSERT_TRUE(reopened.Append(100, base[5], plans->front()).ok());
+  }
+  const auto replay = ReplayJournal(reopened.contents());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records_recovered, 3u);
+  EXPECT_EQ(replay->entries.back().id, 100u);
+  std::remove(path.c_str());
+}
+
+TEST(PlanJournalTest, RecoverMarketStatePrefersSnapshotOnDuplicates) {
+  auto rig = MakeJournalRig();
+  PlanJournal journal;
+  ASSERT_TRUE(journal.Open().ok());
+  PlanAndJournal(rig.get(), &journal, 4);
+
+  // Snapshot taken after the first two commits; the journal covers all
+  // four, so recovery must add exactly the two the snapshot missed.
+  GlobalPlan snapshot_gp(&rig->cluster, rig->model.get());
+  {
+    const auto replay = ReplayJournal(journal.contents());
+    ASSERT_TRUE(replay.ok());
+    for (size_t i = 0; i < 2; ++i) {
+      const auto& e = replay->entries[i];
+      ASSERT_TRUE(snapshot_gp.AddSharing(e.id, e.sharing, e.plan).ok());
+    }
+  }
+  const auto snapshot =
+      MarketStateToString(rig->catalog, rig->cluster, &snapshot_gp);
+  ASSERT_TRUE(snapshot.ok());
+
+  JournalReplay stats;
+  const auto state =
+      RecoverMarketState(*snapshot, journal.contents(), &stats);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(stats.records_recovered, 4u);
+  ASSERT_EQ(state->sharings.size(), 4u);
+
+  // The recovered state restores into the same global plan the live
+  // process had after all four commits.
+  GlobalPlan restored(&rig->cluster, rig->model.get());
+  ASSERT_TRUE(RestoreGlobalPlan(*state, &restored).ok());
+  EXPECT_NEAR(restored.TotalCost(), rig->gp->TotalCost(), 1e-9);
+  EXPECT_EQ(restored.num_alive_views(), rig->gp->num_alive_views());
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,304 @@
+// RecoveryPlanner: replanning after server loss. Sharings whose surviving
+// alternatives fit migrate (with reported cost deltas); sharings whose
+// destination or base-table homes died park with exponential backoff and
+// are re-admitted when the machine returns.
+
+#include "online/recovery_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cost/default_cost_model.h"
+#include "workload/twitter.h"
+
+namespace dsm {
+namespace {
+
+TableSet TS(std::initializer_list<TableId> ids) {
+  TableSet s;
+  for (const TableId id : ids) s.Add(id);
+  return s;
+}
+
+struct RecoveryRig {
+  Catalog catalog;
+  Cluster cluster;
+  TwitterTables tables;
+  std::unique_ptr<JoinGraph> graph;
+  std::unique_ptr<DefaultCostModel> model;
+  std::unique_ptr<PlanEnumerator> enumerator;
+  std::unique_ptr<GlobalPlan> gp;
+  PlannerContext ctx;
+};
+
+// Three machines over the Twitter schema. With `spare_server` the nine
+// base tables all live on m0/m1, so m2 holds only materialized views
+// (destination roots, reuse sources): losing it exercises migration rather
+// than a dead base table. Without it, placement is the usual round-robin.
+std::unique_ptr<RecoveryRig> MakeRecoveryRig(bool spare_server) {
+  auto rig = std::make_unique<RecoveryRig>();
+  const auto tables = BuildTwitterCatalog(&rig->catalog);
+  EXPECT_TRUE(tables.ok());
+  rig->tables = *tables;
+  for (int i = 0; i < 3; ++i) {
+    rig->cluster.AddServer("m" + std::to_string(i));
+  }
+  if (spare_server) {
+    for (TableId t = 0; t < rig->catalog.num_tables(); ++t) {
+      EXPECT_TRUE(rig->cluster.PlaceTable(t, t % 2).ok());
+    }
+  } else {
+    rig->cluster.PlaceRoundRobin(rig->catalog.num_tables());
+  }
+  rig->graph =
+      std::make_unique<JoinGraph>(JoinGraph::FromCatalog(rig->catalog));
+  rig->model =
+      std::make_unique<DefaultCostModel>(&rig->catalog, &rig->cluster);
+  rig->enumerator = std::make_unique<PlanEnumerator>(
+      &rig->catalog, &rig->cluster, rig->graph.get(), rig->model.get(),
+      EnumeratorOptions{});
+  rig->gp = std::make_unique<GlobalPlan>(&rig->cluster, rig->model.get());
+  rig->ctx = PlannerContext{&rig->catalog,    &rig->cluster,
+                            rig->graph.get(), rig->model.get(),
+                            rig->gp.get(),    rig->enumerator.get()};
+  return rig;
+}
+
+// Integrates `sharing` under the cheapest feasible plan (Algorithm 2 with
+// the GREEDY criterion) and returns its marginal cost.
+double AddCheapest(RecoveryRig* rig, SharingId id, const Sharing& sharing) {
+  const auto plans = rig->enumerator->Enumerate(sharing);
+  EXPECT_TRUE(plans.ok());
+  const SharingPlan* best = nullptr;
+  double best_cost = 0.0;
+  for (const SharingPlan& plan : *plans) {
+    const auto eval = rig->gp->EvaluatePlan(plan);
+    if (!eval.feasible) continue;
+    if (best == nullptr || eval.marginal_cost < best_cost) {
+      best = &plan;
+      best_cost = eval.marginal_cost;
+    }
+  }
+  EXPECT_NE(best, nullptr);
+  EXPECT_TRUE(rig->gp->AddSharing(id, sharing, *best).ok());
+  return best_cost;
+}
+
+// A plan whose join is materialized directly at the destination (no copy
+// node): the sharing's only working view then sits on the dest server.
+const SharingPlan* JoinAtDestinationPlan(const std::vector<SharingPlan>& plans,
+                                         ServerId dest) {
+  for (const SharingPlan& plan : plans) {
+    if (plan.nodes.size() == 3 && plan.root().is_join() &&
+        plan.root().server == dest) {
+      return &plan;
+    }
+  }
+  return nullptr;
+}
+
+// A two-table star schema built so that view reuse dominates recomputation:
+// a heavily-updated fact table (m0) keyed against a small, nearly-static
+// dimension (m1). The key-key join output is tiny (~|dim| tuples), so the
+// materialized join's delta stream is ~1000x cheaper to copy across the
+// network than the fact table's raw update stream is to re-probe. m2 holds
+// no base table — it can only ever carry materialized views.
+ColumnDef Col(const std::string& name, DataType type, double distinct,
+              double min_value, double max_value) {
+  ColumnDef col;
+  col.name = name;
+  col.type = type;
+  col.distinct_values = distinct;
+  col.min_value = min_value;
+  col.max_value = max_value;
+  return col;
+}
+
+std::unique_ptr<RecoveryRig> MakeStarRig() {
+  auto rig = std::make_unique<RecoveryRig>();
+  TableDef fact;
+  fact.name = "fact";
+  fact.columns = {Col("k", DataType::kInt64, 1e6, 0.0, 1e6),
+                  Col("v", DataType::kDouble, 1e4, 0.0, 1e4)};
+  fact.stats = {/*cardinality=*/1e6, /*update_rate=*/1e5,
+                /*tuple_bytes=*/64.0};
+  TableDef dim;
+  dim.name = "dim";
+  dim.columns = {Col("k", DataType::kInt64, 1e3, 0.0, 1e6),
+                 Col("label", DataType::kString, 1e3, 0.0, 1.0)};
+  dim.stats = {/*cardinality=*/1e3, /*update_rate=*/1.0,
+               /*tuple_bytes=*/64.0};
+  EXPECT_TRUE(rig->catalog.AddTable(fact).ok());
+  EXPECT_TRUE(rig->catalog.AddTable(dim).ok());
+  for (int i = 0; i < 3; ++i) {
+    rig->cluster.AddServer("m" + std::to_string(i));
+  }
+  EXPECT_TRUE(rig->cluster.PlaceTable(0, 0).ok());
+  EXPECT_TRUE(rig->cluster.PlaceTable(1, 1).ok());
+  rig->graph =
+      std::make_unique<JoinGraph>(JoinGraph::FromCatalog(rig->catalog));
+  rig->model =
+      std::make_unique<DefaultCostModel>(&rig->catalog, &rig->cluster);
+  rig->enumerator = std::make_unique<PlanEnumerator>(
+      &rig->catalog, &rig->cluster, rig->graph.get(), rig->model.get(),
+      EnumeratorOptions{});
+  rig->gp = std::make_unique<GlobalPlan>(&rig->cluster, rig->model.get());
+  rig->ctx = PlannerContext{&rig->catalog,    &rig->cluster,
+                            rig->graph.get(), rig->model.get(),
+                            rig->gp.get(),    rig->enumerator.get()};
+  return rig;
+}
+
+TEST(RecoveryPlannerTest, MigratesReuseVictimAndParksDeadDestination) {
+  auto rig = MakeStarRig();
+
+  // Sharing 1: FACT ⋈ DIM delivered to m2, joined directly there — the
+  // only view of that join in the market lives on m2.
+  const Sharing a(TS({0, 1}), {}, /*destination=*/2, "alice");
+  const auto a_plans = rig->enumerator->Enumerate(a);
+  ASSERT_TRUE(a_plans.ok());
+  const SharingPlan* a_plan = JoinAtDestinationPlan(*a_plans, 2);
+  ASSERT_NE(a_plan, nullptr);
+  ASSERT_TRUE(rig->gp->AddSharing(1, a, *a_plan).ok());
+
+  // Sharing 2: the same join, filtered, delivered to m0. The cheapest plan
+  // reuses m2's view (a residual filter/copy of the tiny join delta beats
+  // re-probing the fact table's update stream), so sharing 2's closure
+  // reaches onto m2 as well.
+  Predicate pred;
+  pred.table = 0;
+  pred.column = 1;
+  pred.op = CompareOp::kLt;
+  pred.value = 5000.0;
+  const Sharing b(TS({0, 1}), {pred}, /*destination=*/0, "bob");
+  const double b_cost_before = AddCheapest(rig.get(), 2, b);
+  ASSERT_EQ(rig->gp->SharingsTouchingServer(2),
+            (std::vector<SharingId>{1, 2}));
+
+  ASSERT_TRUE(rig->cluster.MarkDown(2).ok());
+  RecoveryPlanner recovery(rig->ctx);
+  const auto report = recovery.OnServerDown(2, /*now_tick=*/0);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Sharing 1's destination died with the server: parked. Sharing 2 can be
+  // served from m0/m1 alone: migrated, at a higher price (its cheap reuse
+  // is gone).
+  EXPECT_EQ(report->server, 2u);
+  ASSERT_EQ(report->parked, std::vector<SharingId>{1});
+  ASSERT_EQ(report->migrated.size(), 1u);
+  EXPECT_EQ(report->migrated[0].id, 2u);
+  EXPECT_TRUE(report->migrated[0].was_active);
+  EXPECT_DOUBLE_EQ(report->migrated[0].cost_before, b_cost_before);
+  EXPECT_GT(report->migrated[0].cost_after,
+            report->migrated[0].cost_before);
+
+  // The global plan no longer touches the dead machine anywhere.
+  EXPECT_TRUE(rig->gp->SharingsTouchingServer(2).empty());
+  EXPECT_EQ(rig->gp->record(1), nullptr);
+  const auto* closure = rig->gp->closure(2);
+  ASSERT_NE(closure, nullptr);
+  for (const int node : *closure) {
+    EXPECT_NE(rig->gp->node_server(node), 2u);
+  }
+  EXPECT_EQ(recovery.num_parked(), 1u);
+  EXPECT_EQ(recovery.parked()[0].id, 1u);
+}
+
+TEST(RecoveryPlannerTest, DeadBaseTableHomeParksSharing) {
+  auto rig = MakeRecoveryRig(/*spare_server=*/false);
+  // TWEETS is homed on m1 (round-robin): losing m1 leaves nowhere to read
+  // its delta stream from, so the sharing cannot be migrated.
+  const Sharing s(TS({rig->tables.users, rig->tables.tweets}), {},
+                  /*destination=*/0, "carol");
+  AddCheapest(rig.get(), 7, s);
+
+  ASSERT_TRUE(rig->cluster.MarkDown(1).ok());
+  RecoveryPlanner recovery(rig->ctx);
+  const auto report = recovery.OnServerDown(1, 0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->parked, std::vector<SharingId>{7});
+  EXPECT_TRUE(report->migrated.empty());
+  EXPECT_EQ(rig->gp->num_sharings(), 0u);
+
+  // The machine returns; a forced retry re-admits the sharing.
+  ASSERT_TRUE(rig->cluster.MarkUp(1).ok());
+  const auto readmitted = recovery.RetryParked(5, /*force=*/true);
+  ASSERT_TRUE(readmitted.ok());
+  ASSERT_EQ(readmitted->size(), 1u);
+  EXPECT_EQ((*readmitted)[0].id, 7u);
+  EXPECT_FALSE((*readmitted)[0].was_active);
+  EXPECT_EQ(recovery.num_parked(), 0u);
+  ASSERT_NE(rig->gp->record(7), nullptr);
+}
+
+TEST(RecoveryPlannerTest, UnaffectedSharingsKeepTheirPlans) {
+  auto rig = MakeRecoveryRig(/*spare_server=*/true);
+  const Sharing safe(TS({rig->tables.curloc, rig->tables.loc}), {},
+                     /*destination=*/1, "dora");
+  AddCheapest(rig.get(), 3, safe);
+  const Sharing doomed(TS({rig->tables.users, rig->tables.tweets}), {},
+                       /*destination=*/2, "eve");
+  AddCheapest(rig.get(), 4, doomed);
+
+  const double safe_gpc = rig->gp->GPC(3);
+  ASSERT_TRUE(rig->cluster.MarkDown(2).ok());
+  RecoveryPlanner recovery(rig->ctx);
+  const auto report = recovery.OnServerDown(2, 0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->parked, std::vector<SharingId>{4});
+
+  // Sharing 3 never touched m2: untouched record, unchanged GPC.
+  ASSERT_NE(rig->gp->record(3), nullptr);
+  EXPECT_DOUBLE_EQ(rig->gp->GPC(3), safe_gpc);
+}
+
+TEST(RecoveryPlannerTest, ParkedSharingBacksOffExponentially) {
+  auto rig = MakeRecoveryRig(/*spare_server=*/true);
+  const Sharing s(TS({rig->tables.users, rig->tables.tweets}), {},
+                  /*destination=*/2, "frank");
+  AddCheapest(rig.get(), 9, s);
+  ASSERT_TRUE(rig->cluster.MarkDown(2).ok());
+
+  RecoveryOptions options;
+  options.initial_backoff_ticks = 1;
+  options.max_backoff_ticks = 4;
+  RecoveryPlanner recovery(rig->ctx, options);
+  ASSERT_TRUE(recovery.OnServerDown(2, /*now_tick=*/10).ok());
+  ASSERT_EQ(recovery.num_parked(), 1u);
+  EXPECT_EQ(recovery.parked()[0].next_retry_tick, 11);
+
+  // Not yet due: no attempt is burned.
+  auto r = recovery.RetryParked(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  EXPECT_EQ(recovery.parked()[0].attempts, 0);
+
+  // Due retries fail while the server is down; backoff doubles, capped.
+  ASSERT_TRUE(recovery.RetryParked(11).ok());
+  EXPECT_EQ(recovery.parked()[0].attempts, 1);
+  EXPECT_EQ(recovery.parked()[0].backoff_ticks, 2);
+  EXPECT_EQ(recovery.parked()[0].next_retry_tick, 13);
+  ASSERT_TRUE(recovery.RetryParked(13).ok());
+  EXPECT_EQ(recovery.parked()[0].backoff_ticks, 4);
+  EXPECT_EQ(recovery.parked()[0].next_retry_tick, 17);
+  ASSERT_TRUE(recovery.RetryParked(17).ok());
+  EXPECT_EQ(recovery.parked()[0].backoff_ticks, 4);  // capped
+  EXPECT_EQ(recovery.parked()[0].next_retry_tick, 21);
+
+  // Capacity returns mid-backoff: an unforced retry still waits...
+  ASSERT_TRUE(rig->cluster.MarkUp(2).ok());
+  r = recovery.RetryParked(18);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  // ...but a forced one (the recovery event) re-admits immediately.
+  r = recovery.RetryParked(18, /*force=*/true);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].id, 9u);
+  EXPECT_EQ(recovery.num_parked(), 0u);
+  ASSERT_NE(rig->gp->record(9), nullptr);
+}
+
+}  // namespace
+}  // namespace dsm
