@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "online/replanner.h"
 #include "online/speculative.h"
 #include "workload/adversarial.h"
@@ -33,7 +34,7 @@ double RunManagedRisk(const Scenario& scenario,
   return global_plan.TotalCost();
 }
 
-void RegretAblations() {
+void RegretAblations(BenchReport* report) {
   std::printf("(1,2) Eq. (1) ablations (global cost $, lower is better)\n");
   std::printf("%-22s %14s %14s %14s %14s\n", "variant", "greedy trap",
               "normalize trap", "eq1 trap+tail", "eq1 short");
@@ -48,24 +49,34 @@ void RegretAblations() {
   ManagedRiskOptions no_divide;
   no_divide.divide_by_joins = false;
 
+  report->BeginSection("regret_ablations");
   for (const auto& [name, options] :
        std::vector<std::pair<const char*, ManagedRiskOptions>>{
            {"full ManagedRisk", full},
            {"no regret subtract", no_subtract},
            {"no 1/(m-1) factor", no_divide}}) {
-    std::printf("%-22s %14.3f %14.3f %14.3f %14.3f\n", name,
-                RunManagedRisk(greedy_trap, options),
-                RunManagedRisk(norm_trap, options),
-                RunManagedRisk(eq1_tail, options),
-                RunManagedRisk(eq1_short, options));
+    const double c1 = RunManagedRisk(greedy_trap, options);
+    const double c2 = RunManagedRisk(norm_trap, options);
+    const double c3 = RunManagedRisk(eq1_tail, options);
+    const double c4 = RunManagedRisk(eq1_short, options);
+    std::printf("%-22s %14.3f %14.3f %14.3f %14.3f\n", name, c1, c2, c3,
+                c4);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("variant", name);
+    row.Set("greedy_trap_cost", c1);
+    row.Set("normalize_trap_cost", c2);
+    row.Set("eq1_trap_tail_cost", c3);
+    row.Set("eq1_short_cost", c4);
+    report->Row(std::move(row));
   }
   std::printf("\n");
 }
 
-void PercAblation() {
+void PercAblation(BenchReport* report) {
   std::printf("(3) perc weighting (Eq. 3) on Twitter with 0-2 "
               "predicates\n");
   std::printf("%-22s %14s\n", "variant", "global cost $");
+  report->BeginSection("perc_ablation");
   for (const bool use_perc : {true, false}) {
     auto stack = MakeTwitterStack(6);
     TwitterSequenceOptions options;
@@ -82,14 +93,19 @@ void PercAblation() {
     }
     std::printf("%-22s %14.4f\n", use_perc ? "with perc" : "without perc",
                 stack->global_plan->TotalCost());
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("variant", use_perc ? "with perc" : "without perc");
+    row.Set("global_cost", stack->global_plan->TotalCost());
+    report->Row(std::move(row));
   }
   std::printf("\n");
 }
 
-void ReplannerAblation() {
+void ReplannerAblation(BenchReport* report) {
   std::printf("(4) replanning existing sharings (Section 7 future work)\n");
   std::printf("%-22s %14s %14s %8s\n", "scenario", "before $", "after $",
               "changed");
+  report->BeginSection("replanner_ablation");
   for (const uint64_t seed : {11ull, 22ull, 33ull}) {
     const Scenario scenario = MakeRandomThreeWay(seed, 30, 16);
     PlanEnumerator enumerator(scenario.catalog.get(),
@@ -104,19 +120,27 @@ void ReplannerAblation() {
       (void)planner.ProcessSharing(sharing);
     }
     Replanner replanner(ctx);
-    const auto report = replanner.Improve();
-    if (!report.ok()) continue;
+    const auto replan_report = replanner.Improve();
+    if (!replan_report.ok()) continue;
     std::printf("random seed %-10llu %14.1f %14.1f %8d\n",
-                static_cast<unsigned long long>(seed), report->cost_before,
-                report->cost_after, report->plans_changed);
+                static_cast<unsigned long long>(seed),
+                replan_report->cost_before, replan_report->cost_after,
+                replan_report->plans_changed);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("seed", seed);
+    row.Set("cost_before", replan_report->cost_before);
+    row.Set("cost_after", replan_report->cost_after);
+    row.Set("plans_changed", replan_report->plans_changed);
+    report->Row(std::move(row));
   }
   std::printf("\n");
 }
 
-void SpeculativeAblation() {
+void SpeculativeAblation(BenchReport* report) {
   std::printf("(5) speculative high-regret views (Section 7 future "
               "work), greedy-trap sequence\n");
   std::printf("%-22s %14s %10s\n", "variant", "global cost $", "views");
+  report->BeginSection("speculative_ablation");
   for (const bool speculate : {false, true}) {
     const Scenario scenario = MakeGreedyTrap(40, 100.0, 10.0, 1e-3);
     PlanEnumerator enumerator(scenario.catalog.get(),
@@ -134,28 +158,35 @@ void SpeculativeAblation() {
     for (const Sharing& sharing : scenario.sharings) {
       (void)planner.ProcessSharing(sharing);
       if (speculate) {
-        const auto report = advisor.MaybeSpeculate();
-        if (report.ok()) views += report->views_created;
+        const auto spec_report = advisor.MaybeSpeculate();
+        if (spec_report.ok()) views += spec_report->views_created;
       }
     }
     std::printf("%-22s %14.3f %10d\n",
                 speculate ? "with speculation" : "plain ManagedRisk",
                 global_plan.TotalCost(), views);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("variant",
+            speculate ? "with speculation" : "plain ManagedRisk");
+    row.Set("global_cost", global_plan.TotalCost());
+    row.Set("views_created", views);
+    report->Row(std::move(row));
   }
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  BenchReport report("ablations", argc, argv);
   std::printf("Ablation benches (design choices from Sections 4.4/4.5 and "
               "7)\n\n");
-  RegretAblations();
-  PercAblation();
-  ReplannerAblation();
-  SpeculativeAblation();
-  return 0;
+  RegretAblations(&report);
+  PercAblation(&report);
+  ReplannerAblation(&report);
+  SpeculativeAblation(&report);
+  return report.Finish();
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace dsm
 
-int main() { return dsm::bench::Main(); }
+int main(int argc, char** argv) { return dsm::bench::Main(argc, argv); }

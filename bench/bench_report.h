@@ -1,0 +1,102 @@
+// Machine-readable bench reports. Every bench binary accepts
+//   --json <path>   write a JSON report next to the human-readable stdout
+//   --smoke         shrink the workload to a seconds-scale smoke run
+// and funnels its printed tables through a BenchReport, which serializes
+// them (plus the full telemetry snapshot) as
+//   {"schema_version":1, "bench":..., "full_scale":..., "smoke":...,
+//    "sections":[{"name":..., "rows":[{...}, ...]}, ...], "telemetry":{...}}
+// validated by obs::ValidateBenchReportJson (tools/report_lint uses the
+// same check, so the ctest smoke target needs no python).
+
+#ifndef DSM_BENCH_BENCH_REPORT_H_
+#define DSM_BENCH_BENCH_REPORT_H_
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "bench_common.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace dsm {
+namespace bench {
+
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, int argc, char** argv)
+      : bench_name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (arg == "--smoke") {
+        smoke_ = true;
+      } else {
+        std::fprintf(stderr,
+                     "warning: unknown argument '%s' "
+                     "(expected --json <path> or --smoke)\n",
+                     arg.c_str());
+      }
+    }
+  }
+
+  bool smoke() const { return smoke_; }
+  bool writes_json() const { return !json_path_.empty(); }
+
+  // Starts a new named section; subsequent Row() calls append to it.
+  void BeginSection(const std::string& name) {
+    obs::JsonValue section = obs::JsonValue::Object();
+    section.Set("name", name);
+    section.Set("rows", obs::JsonValue::Array());
+    sections_.Append(std::move(section));
+  }
+
+  // Appends a row object to the most recent section (opens an implicit
+  // "default" section when none exists yet).
+  void Row(obs::JsonValue row) {
+    if (sections_.items().empty()) BeginSection("default");
+    sections_.items().back().members()["rows"].Append(std::move(row));
+  }
+
+  // Writes the report if --json was given. Returns 0 on success (or when
+  // there is nothing to write), 1 on I/O failure — usable as the bench's
+  // exit code.
+  int Finish() {
+    if (json_path_.empty()) return 0;
+    obs::JsonValue doc = obs::JsonValue::Object();
+    doc.Set("schema_version", 1);
+    doc.Set("bench", bench_name_);
+    doc.Set("full_scale", FullScale());
+    doc.Set("smoke", smoke_);
+    doc.Set("sections", std::move(sections_));
+    doc.Set("telemetry",
+            obs::MetricsRegistry::Global().Snapshot().ToJson());
+    std::ofstream out(json_path_, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", json_path_.c_str());
+      return 1;
+    }
+    out << doc.Dump(2) << "\n";
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "error: write to %s failed\n",
+                   json_path_.c_str());
+      return 1;
+    }
+    std::printf("\n[json report written to %s]\n", json_path_.c_str());
+    return 0;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string json_path_;
+  bool smoke_ = false;
+  obs::JsonValue sections_ = obs::JsonValue::Array();
+};
+
+}  // namespace bench
+}  // namespace dsm
+
+#endif  // DSM_BENCH_BENCH_REPORT_H_

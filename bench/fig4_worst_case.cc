@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "workload/adversarial.h"
 
 namespace dsm {
@@ -49,9 +50,10 @@ void RunScenario(const Scenario& scenario, Ratios* ratios) {
   ratios->Update(costs[0], costs[1], costs[2]);
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  BenchReport report("fig4_worst_case", argc, argv);
   const bool full = FullScale();
-  const int n = 60;  // sharings per trap sequence (tables cap at 64)
+  const int n = report.smoke() ? 20 : 60;  // sharings per trap sequence
   Ratios ratios;
 
   // Example 4.1 family: risky subexpression worth materializing. The
@@ -68,7 +70,7 @@ int Main() {
     RunScenario(MakeNormalizeTrap(n, eps), &ratios);
   }
   // Random three-way joins with costs in [1, 1e5].
-  const int random_runs = full ? 200 : 30;
+  const int random_runs = report.smoke() ? 5 : full ? 200 : 30;
   for (int seed = 1; seed <= random_runs; ++seed) {
     RunScenario(
         MakeRandomThreeWay(static_cast<uint64_t>(seed), full ? 60 : 30, 16),
@@ -79,15 +81,24 @@ int Main() {
               "sequences (paper: ~2, ~4, ~30, ~20)\n\n",
               random_runs + 6);
   std::printf("%-12s %10s\n", "pair", "max ratio");
-  std::printf("%-12s %10.2f\n", "MR/Greedy", ratios.mr_over_greedy);
-  std::printf("%-12s %10.2f\n", "MR/Norm", ratios.mr_over_norm);
-  std::printf("%-12s %10.2f\n", "Greedy/MR", ratios.greedy_over_mr);
-  std::printf("%-12s %10.2f\n", "Norm/MR", ratios.norm_over_mr);
-  return 0;
+  report.BeginSection("worst_case_ratios");
+  const std::pair<const char*, double> pairs[] = {
+      {"MR/Greedy", ratios.mr_over_greedy},
+      {"MR/Norm", ratios.mr_over_norm},
+      {"Greedy/MR", ratios.greedy_over_mr},
+      {"Norm/MR", ratios.norm_over_mr}};
+  for (const auto& [name, ratio] : pairs) {
+    std::printf("%-12s %10.2f\n", name, ratio);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("pair", name);
+    row.Set("max_ratio", ratio);
+    report.Row(std::move(row));
+  }
+  return report.Finish();
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace dsm
 
-int main() { return dsm::bench::Main(); }
+int main(int argc, char** argv) { return dsm::bench::Main(argc, argv); }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 
 namespace dsm {
 namespace bench {
@@ -35,50 +36,69 @@ double SecondsPerSharing(Algo algo, size_t num_sharings, int max_preds,
   return total / 3.0;
 }
 
-void Sweep(const char* title, const std::vector<int>& xs,
-           double (*run)(Algo, int)) {
+void Sweep(BenchReport* report, const char* section, const char* title,
+           const std::vector<int>& xs, double (*run)(Algo, int)) {
   std::printf("%s\n", title);
   std::printf("%-10s %14s %14s %14s\n", "x", "Greedy(ms)", "Normalize(ms)",
               "ManagedRisk(ms)");
+  report->BeginSection(section);
   for (const int x : xs) {
     std::printf("%-10d", x);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("x", x);
     for (const Algo algo :
          {Algo::kGreedy, Algo::kNormalize, Algo::kManagedRisk}) {
-      std::printf(" %14.3f", run(algo, x) * 1e3);
+      const double ms = run(algo, x) * 1e3;
+      std::printf(" %14.3f", ms);
+      row.Set(std::string(AlgoName(algo)) + "_ms", ms);
     }
+    report->Row(std::move(row));
     std::printf("\n");
   }
   std::printf("\n");
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  BenchReport report("fig5_twitter_time", argc, argv);
   std::printf("Figure 5 — per-sharing planning time on Twitter data\n\n");
+  const std::vector<int> counts = report.smoke()
+                                      ? std::vector<int>{10, 20}
+                                      : std::vector<int>{10, 20, 30, 40,
+                                                         50, 60};
 
-  Sweep("(a) number of sharings (no predicates, 6 machines)",
-        {10, 20, 30, 40, 50, 60}, [](Algo algo, int n) {
+  Sweep(&report, "a_sharings_no_predicates",
+        "(a) number of sharings (no predicates, 6 machines)", counts,
+        [](Algo algo, int n) {
           return SecondsPerSharing(algo, static_cast<size_t>(n), 0, 6, 101);
         });
 
-  Sweep("(b) number of sharings (0-2 predicates, 6 machines)",
-        {10, 20, 30, 40, 50, 60}, [](Algo algo, int n) {
+  Sweep(&report, "b_sharings_with_predicates",
+        "(b) number of sharings (0-2 predicates, 6 machines)", counts,
+        [](Algo algo, int n) {
           return SecondsPerSharing(algo, static_cast<size_t>(n), 2, 6, 102);
         });
 
-  Sweep("(c) number of machines (no predicates, 40 sharings)",
-        {5, 6, 7, 8, 9}, [](Algo algo, int machines) {
+  Sweep(&report, "c_machines",
+        "(c) number of machines (no predicates, 40 sharings)",
+        report.smoke() ? std::vector<int>{5, 6}
+                       : std::vector<int>{5, 6, 7, 8, 9},
+        [](Algo algo, int machines) {
           return SecondsPerSharing(algo, 40, 0,
                                    static_cast<size_t>(machines), 103);
         });
 
-  Sweep("(d) max predicates per sharing (40 sharings, 6 machines)",
-        {0, 1, 2, 3}, [](Algo algo, int preds) {
+  Sweep(&report, "d_max_predicates",
+        "(d) max predicates per sharing (40 sharings, 6 machines)",
+        report.smoke() ? std::vector<int>{0, 1}
+                       : std::vector<int>{0, 1, 2, 3},
+        [](Algo algo, int preds) {
           return SecondsPerSharing(algo, 40, preds, 6, 104);
         });
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace dsm
 
-int main() { return dsm::bench::Main(); }
+int main(int argc, char** argv) { return dsm::bench::Main(argc, argv); }

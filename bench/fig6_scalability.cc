@@ -12,16 +12,23 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 
 namespace dsm {
 namespace bench {
 namespace {
 
+struct AlgoPoint {
+  double mean_ms = 0.0;
+  double total_cost = 0.0;
+  LatencySummary latency;
+};
+
 struct Point {
   double enumerate_ms = 0.0;  // plan-enumeration share
-  double greedy_ms = 0.0;
-  double norm_ms = 0.0;
-  double mr_ms = 0.0;
+  AlgoPoint greedy;
+  AlgoPoint norm;
+  AlgoPoint mr;
 };
 
 Point Measure(int facts, int dims, size_t machines, size_t num_sharings,
@@ -56,11 +63,13 @@ Point Measure(int facts, int dims, size_t machines, size_t num_sharings,
         GenerateStarSharings(stack->schema, stack->cluster, seq_options);
     const auto planner = MakePlanner(algo, stack->ctx);
     const RunStats stats = RunPlanner(planner.get(), sequence);
-    const double ms =
-        stats.seconds * 1e3 / static_cast<double>(sequence.size());
-    if (algo == Algo::kGreedy) point.greedy_ms = ms;
-    if (algo == Algo::kNormalize) point.norm_ms = ms;
-    if (algo == Algo::kManagedRisk) point.mr_ms = ms;
+    AlgoPoint ap;
+    ap.mean_ms = stats.seconds * 1e3 / static_cast<double>(sequence.size());
+    ap.total_cost = stats.total_cost;
+    ap.latency = stats.latency();
+    if (algo == Algo::kGreedy) point.greedy = ap;
+    if (algo == Algo::kNormalize) point.norm = ap;
+    if (algo == Algo::kManagedRisk) point.mr = ap;
   }
   return point;
 }
@@ -72,12 +81,32 @@ void PrintHeader() {
 
 void PrintRow(int x, const Point& p) {
   std::printf("%-10d %14.3f %12.3f %14.3f %14.3f\n", x, p.enumerate_ms,
-              p.greedy_ms, p.norm_ms, p.mr_ms);
+              p.greedy.mean_ms, p.norm.mean_ms, p.mr.mean_ms);
 }
 
-int Main() {
+obs::JsonValue AlgoJson(const AlgoPoint& ap) {
+  obs::JsonValue o = obs::JsonValue::Object();
+  o.Set("mean_ms", ap.mean_ms);
+  o.Set("total_cost", ap.total_cost);
+  o.Set("latency", ap.latency.ToJson());
+  return o;
+}
+
+void Report(BenchReport* report, int x, const Point& p) {
+  obs::JsonValue row = obs::JsonValue::Object();
+  row.Set("x", x);
+  row.Set("enumerate_ms", p.enumerate_ms);
+  row.Set("Greedy", AlgoJson(p.greedy));
+  row.Set("Normalize", AlgoJson(p.norm));
+  row.Set("ManagedRisk", AlgoJson(p.mr));
+  report->Row(std::move(row));
+}
+
+int Main(int argc, char** argv) {
+  BenchReport report("fig6_scalability", argc, argv);
   const bool full = FullScale();
-  const size_t seq = full ? 1000 : 100;
+  const bool smoke = report.smoke();
+  const size_t seq = smoke ? 20 : full ? 1000 : 100;
 
   std::printf("Figure 6 — scalability on the synthetic star schema "
               "(%szed sweep)\n\n",
@@ -85,61 +114,86 @@ int Main() {
 
   std::printf("(a) sharing size, 1 machine, %zu sharings\n", seq / 2);
   PrintHeader();
-  for (const int size : full ? std::vector<int>{6, 7, 8, 9, 10}
-                             : std::vector<int>{5, 6, 7, 8}) {
-    PrintRow(size, Measure(1, 20, 1, seq / 2, size, /*exact_size=*/true,
-                           601));
+  report.BeginSection("a_sharing_size_1_machine");
+  for (const int size : smoke ? std::vector<int>{4, 5}
+                        : full ? std::vector<int>{6, 7, 8, 9, 10}
+                               : std::vector<int>{5, 6, 7, 8}) {
+    const Point p =
+        Measure(1, 20, 1, seq / 2, size, /*exact_size=*/true, 601);
+    PrintRow(size, p);
+    Report(&report, size, p);
   }
 
   std::printf("\n(b) sharing size, 10 machines, %zu sharings\n", seq / 2);
   PrintHeader();
-  for (const int size : full ? std::vector<int>{4, 5, 6, 7, 8}
-                             : std::vector<int>{4, 5, 6}) {
-    PrintRow(size, Measure(1, 20, 10, seq / 2, size, /*exact_size=*/true,
-                           602, /*beam=*/full ? 0 : 32));
+  report.BeginSection("b_sharing_size_10_machines");
+  for (const int size : smoke ? std::vector<int>{4}
+                        : full ? std::vector<int>{4, 5, 6, 7, 8}
+                               : std::vector<int>{4, 5, 6}) {
+    const Point p = Measure(1, 20, 10, seq / 2, size, /*exact_size=*/true,
+                            602, /*beam=*/full ? 0 : 32);
+    PrintRow(size, p);
+    Report(&report, size, p);
   }
 
   std::printf("\n(c) number of sharings in the sequence (1 machine, "
               "up to 7 tables)\n");
   PrintHeader();
-  for (const int n : full ? std::vector<int>{500, 1000, 1500, 2000, 2500}
-                          : std::vector<int>{100, 200, 300, 400, 500}) {
-    PrintRow(n, Measure(1, 20, 1, static_cast<size_t>(n), 7,
-                        /*exact_size=*/false, 603));
+  report.BeginSection("c_sequence_length");
+  for (const int n : smoke ? std::vector<int>{20, 40}
+                     : full ? std::vector<int>{500, 1000, 1500, 2000, 2500}
+                            : std::vector<int>{100, 200, 300, 400, 500}) {
+    const Point p = Measure(1, 20, 1, static_cast<size_t>(n),
+                            smoke ? 5 : 7, /*exact_size=*/false, 603);
+    PrintRow(n, p);
+    Report(&report, n, p);
   }
 
   std::printf("\n(d) number of machines (%zu sharings, up to 6 tables)\n",
               seq / 2);
   PrintHeader();
-  for (const int machines : full ? std::vector<int>{1, 5, 10, 15, 20}
-                                 : std::vector<int>{1, 5, 10}) {
-    PrintRow(machines,
-             Measure(1, 20, static_cast<size_t>(machines), seq / 2, 6,
-                     /*exact_size=*/false, 604, /*beam=*/full ? 0 : 32));
+  report.BeginSection("d_machines");
+  for (const int machines : smoke ? std::vector<int>{1, 5}
+                            : full ? std::vector<int>{1, 5, 10, 15, 20}
+                                   : std::vector<int>{1, 5, 10}) {
+    const Point p =
+        Measure(1, 20, static_cast<size_t>(machines), seq / 2,
+                smoke ? 5 : 6, /*exact_size=*/false, 604,
+                /*beam=*/full ? 0 : 32);
+    PrintRow(machines, p);
+    Report(&report, machines, p);
   }
 
   std::printf("\n(e) total dimension tables (%zu sharings, up to 6 "
               "tables, 1 machine)\n",
               seq / 2);
   PrintHeader();
-  for (const int dims : {10, 15, 20, 25, 30}) {
-    PrintRow(dims, Measure(1, dims, 1, seq / 2, 6, /*exact_size=*/false,
-                           605));
+  report.BeginSection("e_dimension_tables");
+  for (const int dims : smoke ? std::vector<int>{10}
+                              : std::vector<int>{10, 15, 20, 25, 30}) {
+    const Point p = Measure(1, dims, 1, seq / 2, smoke ? 5 : 6,
+                            /*exact_size=*/false, 605);
+    PrintRow(dims, p);
+    Report(&report, dims, p);
   }
 
   std::printf("\n(f) total fact tables (%zu sharings, up to 6 tables, "
               "1 machine)\n",
               seq / 2);
   PrintHeader();
-  for (const int facts : {1, 2, 3, 4, 5}) {
-    PrintRow(facts, Measure(facts, 20, 1, seq / 2, 6, /*exact_size=*/false,
-                            606));
+  report.BeginSection("f_fact_tables");
+  for (const int facts : smoke ? std::vector<int>{1}
+                               : std::vector<int>{1, 2, 3, 4, 5}) {
+    const Point p = Measure(facts, 20, 1, seq / 2, smoke ? 5 : 6,
+                            /*exact_size=*/false, 606);
+    PrintRow(facts, p);
+    Report(&report, facts, p);
   }
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace dsm
 
-int main() { return dsm::bench::Main(); }
+int main(int argc, char** argv) { return dsm::bench::Main(argc, argv); }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "costing/even_split.h"
 #include "costing/fairness_metrics.h"
 #include "costing/lpc.h"
@@ -66,12 +67,27 @@ Row Measure(size_t num_sharings, int max_preds, uint64_t seed) {
   return row;
 }
 
-void Sweep(const char* title, int max_preds,
-           const std::vector<std::pair<int, int>>& buckets, uint64_t seed) {
+obs::JsonValue PairJson(const std::string& x_label, const Row& a,
+                        const Row& b) {
+  obs::JsonValue row = obs::JsonValue::Object();
+  row.Set("x", x_label);
+  row.Set("alpha_faircost", (a.alpha_fair + b.alpha_fair) / 2);
+  row.Set("alpha_baseline", (a.alpha_base + b.alpha_base) / 2);
+  row.Set("lpc_fraction_baseline", (a.lpc_base + b.lpc_base) / 2);
+  row.Set("identical_fraction_baseline", (a.ident_base + b.ident_base) / 2);
+  row.Set("contained_fraction_baseline", (a.cont_base + b.cont_base) / 2);
+  row.Set("faircost_all_criteria", a.fair_all_one && b.fair_all_one);
+  return row;
+}
+
+void Sweep(BenchReport* report, const char* section, const char* title,
+           int max_preds, const std::vector<std::pair<int, int>>& buckets,
+           uint64_t seed) {
   std::printf("%s\n", title);
   std::printf("%-10s %12s %12s %12s %12s %12s %10s\n", "sharings",
               "a-FairCost", "a-Baseline", "LPC(base)", "Ident(base)",
               "Cont(base)", "FC all=1");
+  report->BeginSection(section);
   for (const auto& [lo, hi] : buckets) {
     // Average the bucket's endpoints (two runs per bucket).
     const Row a = Measure(static_cast<size_t>(lo), max_preds, seed + lo);
@@ -83,24 +99,34 @@ void Sweep(const char* title, int max_preds,
                 (a.ident_base + b.ident_base) / 2,
                 (a.cont_base + b.cont_base) / 2,
                 a.fair_all_one && b.fair_all_one ? "yes" : "NO");
+    report->Row(PairJson(std::to_string(lo) + "-" + std::to_string(hi), a,
+                         b));
   }
   std::printf("\n");
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  BenchReport report("fig7_fairness", argc, argv);
   std::printf("Figure 7 — fair costing quality (FairCost vs even-split "
               "baseline)\n\n");
-  const std::vector<std::pair<int, int>> buckets = {
-      {10, 20}, {20, 30}, {30, 40}, {40, 50}, {50, 60}};
+  const std::vector<std::pair<int, int>> buckets =
+      report.smoke()
+          ? std::vector<std::pair<int, int>>{{10, 20}}
+          : std::vector<std::pair<int, int>>{
+                {10, 20}, {20, 30}, {30, 40}, {40, 50}, {50, 60}};
 
-  Sweep("(a) sharings per test case, no predicates", 0, buckets, 700);
-  Sweep("(b) sharings per test case, 0-2 predicates", 2, buckets, 800);
+  Sweep(&report, "a_no_predicates",
+        "(a) sharings per test case, no predicates", 0, buckets, 700);
+  Sweep(&report, "b_with_predicates",
+        "(b) sharings per test case, 0-2 predicates", 2, buckets, 800);
 
   std::printf("(c) max predicates per sharing, 40-50 sharings\n");
   std::printf("%-10s %12s %12s %12s %12s %12s %10s\n", "max preds",
               "a-FairCost", "a-Baseline", "LPC(base)", "Ident(base)",
               "Cont(base)", "FC all=1");
-  for (const int preds : {0, 1, 2, 3}) {
+  report.BeginSection("c_max_predicates");
+  for (const int preds : report.smoke() ? std::vector<int>{0}
+                                        : std::vector<int>{0, 1, 2, 3}) {
     const Row a = Measure(40, preds, 900 + static_cast<uint64_t>(preds));
     const Row b = Measure(50, preds, 950 + static_cast<uint64_t>(preds));
     std::printf("%-10d %12.3f %12.3f %12.3f %12.3f %12.3f %10s\n", preds,
@@ -110,12 +136,13 @@ int Main() {
                 (a.ident_base + b.ident_base) / 2,
                 (a.cont_base + b.cont_base) / 2,
                 a.fair_all_one && b.fair_all_one ? "yes" : "NO");
+    report.Row(PairJson(std::to_string(preds), a, b));
   }
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace dsm
 
-int main() { return dsm::bench::Main(); }
+int main(int argc, char** argv) { return dsm::bench::Main(argc, argv); }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "costing/lpc.h"
 #include "costing/savings.h"
 
@@ -40,17 +41,23 @@ double FairCostMillisPerSharing(size_t num_sharings, int max_preds,
   return timer.Millis() / static_cast<double>(problem->entries.size());
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  BenchReport report("fig8_faircost_time", argc, argv);
   std::printf("Figure 8 — FAIRCOST processing time per sharing (ms)\n\n");
   std::printf("%-10s %16s %20s %22s\n", "sharings", "no predicates",
               "0-2 preds/sharing", "0-3 preds (40-50 only)");
+  report.BeginSection("faircost_time");
   for (const auto& [lo, hi] :
-       std::vector<std::pair<int, int>>{
-           {10, 20}, {20, 30}, {30, 40}, {40, 50}, {50, 60}}) {
+       report.smoke() ? std::vector<std::pair<int, int>>{{10, 20}}
+                      : std::vector<std::pair<int, int>>{{10, 20},
+                                                         {20, 30},
+                                                         {30, 40},
+                                                         {40, 50},
+                                                         {50, 60}}) {
     const size_t mid = static_cast<size_t>((lo + hi) / 2);
     const double none = FairCostMillisPerSharing(mid, 0, 810 + mid);
     const double two = FairCostMillisPerSharing(mid, 2, 820 + mid);
-    const double three = (lo == 40)
+    const double three = (lo == 40 && !report.smoke())
                              ? FairCostMillisPerSharing(45, 3, 830)
                              : -1.0;
     std::printf("%3d-%-6d %16.3f %20.3f", lo, hi, none, two);
@@ -58,14 +65,20 @@ int Main() {
       std::printf(" %22.3f", three);
     }
     std::printf("\n");
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("sharings", std::to_string(lo) + "-" + std::to_string(hi));
+    row.Set("no_predicates_ms", none);
+    row.Set("two_predicates_ms", two);
+    if (three >= 0.0) row.Set("three_predicates_ms", three);
+    report.Row(std::move(row));
   }
   std::printf("\n(ms growth with predicates reflects the larger LPC plan "
               "space, as in the paper)\n");
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace dsm
 
-int main() { return dsm::bench::Main(); }
+int main(int argc, char** argv) { return dsm::bench::Main(argc, argv); }

@@ -8,14 +8,16 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "online/exhaustive.h"
 
 namespace dsm {
 namespace bench {
 namespace {
 
-int Main() {
-  const int runs = FullScale() ? 50 : 15;
+int Main(int argc, char** argv) {
+  BenchReport report("table2_exhaustive", argc, argv);
+  const int runs = report.smoke() ? 4 : FullScale() ? 50 : 15;
   Rng rng(2014);
 
   double mr_cost_sum = 0.0;
@@ -71,11 +73,20 @@ int Main() {
   if (incomplete > 0) {
     std::printf("(%d exhaustive searches hit the time limit)\n", incomplete);
   }
-  return 0;
+  report.BeginSection("table2");
+  obs::JsonValue row = obs::JsonValue::Object();
+  row.Set("runs", runs);
+  row.Set("relative_cost_exhaustive", ex_cost_sum / mr_cost_sum);
+  row.Set("relative_time_exhaustive",
+          ex_time_sum / std::max(1e-9, mr_time_sum));
+  row.Set("worst_cost_ratio_mr_over_exh", worst_ratio);
+  row.Set("incomplete_searches", incomplete);
+  report.Row(std::move(row));
+  return report.Finish();
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace dsm
 
-int main() { return dsm::bench::Main(); }
+int main(int argc, char** argv) { return dsm::bench::Main(argc, argv); }

@@ -4,6 +4,11 @@
 //   dsm_inspect <state-file>     inspect a saved market
 //   dsm_inspect --demo           build a demo market, save it to a
 //                                temporary file, then inspect that file
+//   dsm_inspect metrics [--json] run the demo workload, then dump the
+//                                telemetry registry (Prometheus text by
+//                                default, JSON with --json)
+//   dsm_inspect trace            run the demo workload, then dump the
+//                                recorded trace spans as JSON
 //
 // Shows the catalog, the cluster, every active sharing with its restored
 // plan and reuse decisions, and the FAIRCOST bill.
@@ -15,11 +20,67 @@
 #include "cost/default_cost_model.h"
 #include "costing/costing_session.h"
 #include "io/market_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "online/managed_risk.h"
 #include "plan/explain.h"
 #include "workload/twitter.h"
 
 namespace {
+
+// Plans and costs a small Twitter workload so the telemetry registry and
+// tracer have something to show.
+int RunDemoWorkload() {
+  dsm::Catalog catalog;
+  const auto tables = dsm::BuildTwitterCatalog(&catalog);
+  if (!tables.ok()) return 1;
+  dsm::Cluster cluster;
+  for (int i = 0; i < 4; ++i) cluster.AddServer("m" + std::to_string(i));
+  cluster.PlaceRoundRobin(catalog.num_tables());
+  const dsm::JoinGraph graph = dsm::JoinGraph::FromCatalog(catalog);
+  dsm::DefaultCostModel model(&catalog, &cluster);
+  dsm::PlanEnumerator enumerator(&catalog, &cluster, &graph, &model, {});
+  dsm::GlobalPlan global_plan(&cluster, &model);
+  dsm::PlannerContext ctx{&catalog, &cluster,     &graph,
+                          &model,   &global_plan, &enumerator};
+  dsm::ManagedRiskPlanner planner(ctx);
+
+  dsm::TwitterSequenceOptions options;
+  options.num_sharings = 12;
+  options.max_predicates = 1;
+  options.seed = 7;
+  for (const dsm::Sharing& sharing : dsm::GenerateTwitterSequence(
+           catalog, *tables, cluster, options)) {
+    if (!planner.ProcessSharing(sharing).ok()) return 1;
+  }
+  dsm::LpcCalculator lpc(&enumerator, &model);
+  dsm::CostingSession costing(&global_plan, &lpc);
+  return costing.Refresh().ok() ? 0 : 1;
+}
+
+int MetricsCommand(bool as_json) {
+  if (RunDemoWorkload() != 0) {
+    std::fprintf(stderr, "demo workload failed\n");
+    return 1;
+  }
+  const dsm::obs::MetricsSnapshot snapshot =
+      dsm::obs::MetricsRegistry::Global().Snapshot();
+  if (as_json) {
+    std::printf("%s\n", snapshot.ToJson().Dump(2).c_str());
+  } else {
+    std::printf("%s", snapshot.ToPrometheusText().c_str());
+  }
+  return 0;
+}
+
+int TraceCommand() {
+  if (RunDemoWorkload() != 0) {
+    std::fprintf(stderr, "demo workload failed\n");
+    return 1;
+  }
+  std::printf("%s\n", dsm::obs::Tracer::Global().DumpJson(2).c_str());
+  return 0;
+}
 
 int WriteDemoState(const std::string& path) {
   dsm::Catalog catalog;
@@ -57,6 +118,13 @@ int WriteDemoState(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string path;
+  if (argc >= 2 && std::string(argv[1]) == "metrics") {
+    const bool as_json = argc == 3 && std::string(argv[2]) == "--json";
+    return MetricsCommand(as_json);
+  }
+  if (argc == 2 && std::string(argv[1]) == "trace") {
+    return TraceCommand();
+  }
   if (argc == 2 && std::string(argv[1]) == "--demo") {
     path = "/tmp/dsm_demo_market.txt";
     if (WriteDemoState(path) != 0) {
@@ -66,7 +134,9 @@ int main(int argc, char** argv) {
   } else if (argc == 2) {
     path = argv[1];
   } else {
-    std::fprintf(stderr, "usage: dsm_inspect <state-file> | --demo\n");
+    std::fprintf(stderr,
+                 "usage: dsm_inspect <state-file> | --demo | "
+                 "metrics [--json] | trace\n");
     return 2;
   }
 

@@ -7,6 +7,16 @@ FaultInjector& FaultInjector::Global() {
   return *instance;
 }
 
+FaultInjector::PointState& FaultInjector::StateFor(const std::string& point) {
+  PointState& state = points_[point];
+  if (state.hits == nullptr) {
+    auto& registry = obs::MetricsRegistry::Global();
+    state.hits = registry.GetCounter("dsm.fault.hits." + point);
+    state.fires = registry.GetCounter("dsm.fault.fires." + point);
+  }
+  return state;
+}
+
 void FaultInjector::Seed(uint64_t seed) {
   std::lock_guard<std::mutex> lock(mu_);
   rng_ = Rng(seed);
@@ -14,11 +24,11 @@ void FaultInjector::Seed(uint64_t seed) {
 
 void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
   std::lock_guard<std::mutex> lock(mu_);
-  PointState& state = points_[point];
+  PointState& state = StateFor(point);
   state.spec = spec;
   state.armed = true;
-  state.hits = 0;
-  state.fires = 0;
+  state.hits->Reset();
+  state.fires->Reset();
 }
 
 void FaultInjector::Disarm(const std::string& point) {
@@ -29,24 +39,35 @@ void FaultInjector::Disarm(const std::string& point) {
 
 void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Zero the registry counters too: a metrics dump taken after Reset must
+  // not show fault activity from before it.
+  for (auto& [point, state] : points_) {
+    state.hits->Reset();
+    state.fires->Reset();
+  }
   points_.clear();
   rng_ = Rng(kDefaultSeed);
 }
 
 bool FaultInjector::ShouldFail(const std::string& point) {
   std::lock_guard<std::mutex> lock(mu_);
-  PointState& state = points_[point];
-  const int hit = state.hits++;
+  PointState& state = StateFor(point);
+  const uint64_t hit = state.hits->value();
+  state.hits->Increment();
   if (!state.armed) return false;
-  if (hit < state.spec.fail_after) return false;
-  if (state.spec.max_fires >= 0 && state.fires >= state.spec.max_fires) {
+  if (state.spec.fail_after > 0 &&
+      hit < static_cast<uint64_t>(state.spec.fail_after)) {
+    return false;
+  }
+  if (state.spec.max_fires >= 0 &&
+      state.fires->value() >= static_cast<uint64_t>(state.spec.max_fires)) {
     return false;
   }
   if (state.spec.probability < 1.0 &&
       !rng_.Bernoulli(state.spec.probability)) {
     return false;
   }
-  ++state.fires;
+  state.fires->Increment();
   return true;
 }
 
@@ -59,13 +80,14 @@ bool FaultInjector::armed(const std::string& point) const {
 int FaultInjector::hits(const std::string& point) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = points_.find(point);
-  return it == points_.end() ? 0 : it->second.hits;
+  return it == points_.end() ? 0 : static_cast<int>(it->second.hits->value());
 }
 
 int FaultInjector::fires(const std::string& point) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = points_.find(point);
-  return it == points_.end() ? 0 : it->second.fires;
+  return it == points_.end() ? 0
+                             : static_cast<int>(it->second.fires->value());
 }
 
 }  // namespace dsm

@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace dsm {
 
@@ -64,6 +65,9 @@ class FaultInjector {
 
   bool armed(const std::string& point) const;
   // Times the point was reached / actually fired (0 for unknown points).
+  // Backed by the metrics registry (`dsm.fault.hits.<point>` and
+  // `dsm.fault.fires.<point>`), so injected-fault runs are auditable from
+  // any metrics dump, not just through this accessor.
   int hits(const std::string& point) const;
   int fires(const std::string& point) const;
 
@@ -73,9 +77,14 @@ class FaultInjector {
   struct PointState {
     FaultSpec spec;
     bool armed = false;
-    int hits = 0;
-    int fires = 0;
+    // Registry-backed hit/fire counters, created on first touch of the
+    // point. Owned by the registry; valid for the process lifetime.
+    obs::Counter* hits = nullptr;
+    obs::Counter* fires = nullptr;
   };
+
+  // points_[point] with its registry counters resolved.
+  PointState& StateFor(const std::string& point);
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, PointState> points_;

@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "costing/savings.h"
+#include "obs/metrics.h"
 
 namespace dsm {
 
 Result<CostingSession::Snapshot> CostingSession::Refresh() {
+  DSM_METRIC_COUNTER_ADD("dsm.costing.refreshes", 1);
   DSM_ASSIGN_OR_RETURN(const FairCostProblem problem,
                        BuildFairCostProblem(*global_plan_, lpc_));
   FairCost::Options options;

@@ -4,6 +4,9 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dsm {
 namespace {
 
@@ -74,6 +77,9 @@ Result<FairCostResult> FairCost::Compute(
   if (entries.empty()) {
     return Status::InvalidArgument("no sharings to cost");
   }
+  DSM_METRIC_COUNTER_ADD("dsm.costing.faircost_runs", 1);
+  DSM_METRIC_SCOPED_LATENCY_MS("dsm.costing.faircost_ms");
+  DSM_TRACE_SPAN("costing/faircost");
 
   // Lemma 5.2: satisfiable iff the bounds at α = 0 (which equal the LPCs
   // when GPC >= LPC) can still recover the global plan cost.
@@ -86,6 +92,8 @@ Result<FairCostResult> FairCost::Compute(
     }
     // Uniform minimal violation of criterion (2): scale the α = 0 bounds
     // up to recover cost(GP). Equalities and orderings survive.
+    DSM_METRIC_COUNTER_ADD("dsm.costing.lpc_overrun_fallbacks", 1);
+    DSM_TRACE_ANNOTATE("lpc_overrun_fallback", "true");
     FairCostResult fallback;
     fallback.alpha = 0.0;
     fallback.criteria_satisfied = false;
@@ -108,6 +116,7 @@ Result<FairCostResult> FairCost::Compute(
     double lo = 0.0;  // SumBounds(lo) >= global_cost
     double hi = 1.0;  // SumBounds(hi) <  global_cost
     for (int iter = 0; iter < options.max_iterations; ++iter) {
+      DSM_METRIC_COUNTER_ADD("dsm.costing.bisect_iterations", 1);
       const double mid = 0.5 * (lo + hi);
       if (Sum(ComputeBounds(entries, mid)) >= global_cost) {
         lo = mid;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <functional>
 
+#include "obs/metrics.h"
+
 namespace dsm {
 
 int GlobalPlan::FindBestReuse(const ViewKey& needed, ServerId server,
@@ -162,6 +164,10 @@ int GlobalPlan::CreateNode(GPNode node) {
   by_tables_[node.key.tables.mask()].push_back(id);
   ++alive_count_;
   nodes_.push_back(std::move(node));
+  DSM_METRIC_COUNTER_ADD("dsm.globalplan.nodes_created", 1);
+  DSM_METRIC_GAUGE_SET("dsm.globalplan.total_cost", total_cost_);
+  DSM_METRIC_GAUGE_SET("dsm.globalplan.alive_views",
+                       static_cast<double>(alive_count_));
   return id;
 }
 
@@ -174,6 +180,10 @@ void GlobalPlan::KillNode(int id) {
   auto& bucket = by_tables_[node.key.tables.mask()];
   bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
   --alive_count_;
+  DSM_METRIC_COUNTER_ADD("dsm.globalplan.nodes_killed", 1);
+  DSM_METRIC_GAUGE_SET("dsm.globalplan.total_cost", total_cost_);
+  DSM_METRIC_GAUGE_SET("dsm.globalplan.alive_views",
+                       static_cast<double>(alive_count_));
 }
 
 Result<GlobalPlan::PlanEvaluation> GlobalPlan::AddSharing(
@@ -211,6 +221,15 @@ Result<GlobalPlan::PlanEvaluation> GlobalPlan::AddSharing(
     }
 
     const NodeDecision& d = eval.decisions[i];
+    // Reuse accounting covers committed integrations only — EvaluatePlan
+    // dry-runs during scoring would swamp the counters with candidates the
+    // planner never picked.
+    if (d.state == NodeDecision::kReused) {
+      DSM_METRIC_COUNTER_ADD("dsm.globalplan.reuse_hits", 1);
+    } else if (d.state == NodeDecision::kFresh &&
+               pn.type != PlanNodeType::kLeaf) {
+      DSM_METRIC_COUNTER_ADD("dsm.globalplan.reuse_misses", 1);
+    }
     switch (d.state) {
       case NodeDecision::kSkipped:
         break;

@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "common/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dsm {
 namespace {
@@ -78,6 +80,7 @@ Status PlanJournal::Append(SharingId id, const Sharing& sharing,
   // Torn write: the process "dies" partway through the append, leaving a
   // partial frame for recovery to drop.
   if (DSM_INJECT_FAULT("io/journal-append")) {
+    DSM_METRIC_COUNTER_ADD("dsm.io.journal_append_failures", 1);
     const std::string partial = frame.substr(0, frame.size() / 2);
     contents_ += partial;
     if (!path_.empty()) {
@@ -91,11 +94,14 @@ Status PlanJournal::Append(SharingId id, const Sharing& sharing,
     DSM_RETURN_IF_ERROR(AppendToFile(path_, frame));
   }
   ++records_appended_;
+  DSM_METRIC_COUNTER_ADD("dsm.io.journal_appends", 1);
   return Status::OK();
 }
 
 Result<JournalReplay> ReplayJournal(const std::string& journal_text,
                                     size_t num_servers) {
+  DSM_METRIC_COUNTER_ADD("dsm.io.journal_replays", 1);
+  DSM_TRACE_SPAN("io/journal_replay");
   JournalReplay replay;
   size_t pos = journal_text.find('\n');
   if (pos == std::string::npos ||
@@ -148,6 +154,9 @@ Result<JournalReplay> ReplayJournal(const std::string& journal_text,
     replay.tail_dropped = true;
     break;
   }
+  DSM_METRIC_COUNTER_ADD("dsm.io.records_recovered",
+                         replay.records_recovered);
+  DSM_METRIC_COUNTER_ADD("dsm.io.bytes_dropped", replay.bytes_dropped);
   return replay;
 }
 

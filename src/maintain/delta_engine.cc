@@ -1,5 +1,8 @@
 #include "maintain/delta_engine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dsm {
 namespace {
 
@@ -37,6 +40,7 @@ Relation DeltaEngine::ApplyTablePredicates(const ViewKey& key, TableId table,
 }
 
 Result<Relation> DeltaEngine::Recompute(const ViewKey& key) const {
+  DSM_METRIC_COUNTER_ADD("dsm.maintain.recomputes", 1);
   Relation acc;
   bool first = true;
   for (const TableId t : key.tables.ToVector()) {
@@ -76,6 +80,11 @@ Status DeltaEngine::ApplyUpdate(TableId table,
   if (base_it == bases_.end()) {
     return Status::NotFound("base table not registered");
   }
+  DSM_METRIC_COUNTER_ADD("dsm.maintain.updates", 1);
+  DSM_METRIC_COUNTER_ADD("dsm.maintain.delta_tuples",
+                         inserts.size() + deletes.size());
+  DSM_METRIC_SCOPED_LATENCY_MS("dsm.maintain.apply_ms");
+  DSM_TRACE_SPAN("maintain/apply_update");
 
   // The signed delta relation ΔT.
   Relation delta(base_it->second.columns());
@@ -86,6 +95,7 @@ Status DeltaEngine::ApplyUpdate(TableId table,
   // using the *current* (pre-update) state of the other base tables.
   for (View& view : views_) {
     if (!view.active || !view.key.tables.Contains(table)) continue;
+    DSM_METRIC_COUNTER_ADD("dsm.maintain.view_refreshes", 1);
     Relation cur = ApplyTablePredicates(view.key, table, delta);
     for (const TableId other : view.key.tables.ToVector()) {
       if (other == table) continue;
@@ -108,6 +118,8 @@ Status DeltaEngine::ApplyUpdate(TableId table,
   for (const auto& [tuple, count] : delta.rows()) {
     base_it->second.Apply(tuple, count);
   }
+  DSM_METRIC_GAUGE_SET("dsm.maintain.join_work",
+                       static_cast<double>(work_));
   return Status::OK();
 }
 

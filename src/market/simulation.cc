@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/fault.h"
+#include "obs/metrics.h"
 
 namespace dsm {
 
@@ -89,6 +90,7 @@ Status MarketSimulation::HandleServerDown(ServerId server) {
   DSM_ASSIGN_OR_RETURN(const RecoveryReport report,
                        recovery_->OnServerDown(server, ticks_elapsed_));
   ++stats_.failures;
+  DSM_METRIC_COUNTER_ADD("dsm.market.failure_events", 1);
   stats_.last_event_tick = ticks_elapsed_;
   for (const MigratedSharing& m : report.migrated) {
     ++stats_.migrated;
@@ -114,6 +116,7 @@ Status MarketSimulation::ApplyReadmissions(
 Status MarketSimulation::HandleServerUp(ServerId server) {
   DSM_RETURN_IF_ERROR(cluster_->MarkUp(server));
   ++stats_.recoveries;
+  DSM_METRIC_COUNTER_ADD("dsm.market.recovery_events", 1);
   stats_.last_event_tick = ticks_elapsed_;
   // Capacity just returned: retry every parked sharing immediately.
   DSM_ASSIGN_OR_RETURN(
@@ -186,8 +189,35 @@ Status MarketSimulation::Run(int ticks, double scale,
       DSM_RETURN_IF_ERROR(engine_.ApplyUpdate(t, inserts, deletes));
     }
     ++ticks_elapsed_;
+    DSM_METRIC_COUNTER_ADD("dsm.market.ticks", 1);
   }
+  ++epoch_;
   return Status::OK();
+}
+
+obs::RunReport MarketSimulation::BuildRunReport() const {
+  obs::RunReport report;
+  report.seed = seed_;
+  report.epoch = epoch_;
+  report.ticks = ticks_elapsed_;
+  report.updates_applied = updates_applied_;
+  report.maintenance_work = engine_.work();
+
+  report.recovery.failures = stats_.failures;
+  report.recovery.recoveries = stats_.recoveries;
+  report.recovery.migrated = stats_.migrated;
+  report.recovery.parked_total = stats_.parked;
+  report.recovery.readmitted = stats_.readmitted;
+  report.recovery.last_event_tick = stats_.last_event_tick;
+  report.recovery.migration_cost_delta = stats_.migration_cost_delta;
+  report.parked_now = parked_sharings();
+
+  for (const auto& [id, view] : buyer_views_) {
+    report.view_sizes.emplace_back(id, engine_.view(view)->TotalSize());
+  }
+
+  report.metrics = obs::MetricsRegistry::Global().Snapshot();
+  return report;
 }
 
 Result<bool> MarketSimulation::VerifyViews() const {

@@ -27,6 +27,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "maintain/delta_engine.h"
+#include "obs/run_report.h"
 #include "online/recovery_planner.h"
 #include "sharing/sharing.h"
 
@@ -59,6 +60,7 @@ class MarketSimulation {
       : catalog_(catalog),
         engine_(catalog),
         rng_(seed),
+        seed_(seed),
         domain_compression_(domain_compression) {}
 
   MarketSimulation(const MarketSimulation&) = delete;
@@ -101,6 +103,17 @@ class MarketSimulation {
   }
   const RecoveryStats& recovery_stats() const { return stats_; }
 
+  // --- Reporting -----------------------------------------------------------
+  // Number of completed Run() calls (one "epoch" per call).
+  int epoch() const { return epoch_; }
+  uint64_t seed() const { return seed_; }
+
+  // Machine-readable record of the run so far: seed, epochs, maintenance
+  // work, per-buyer view sizes, recovery tallies, and the current global
+  // metrics snapshot. Callers attach the FAIRCOST bill via
+  // RunReport::SetCosting before serializing.
+  obs::RunReport BuildRunReport() const;
+
  private:
   struct ServerEvent {
     int tick = 0;
@@ -118,11 +131,13 @@ class MarketSimulation {
   const Catalog* catalog_;
   DeltaEngine engine_;
   Rng rng_;
+  uint64_t seed_ = 0;
   double domain_compression_ = 1.0;
   std::map<SharingId, ViewId> buyer_views_;
   std::map<TableId, std::vector<Tuple>> live_tuples_;
   uint64_t updates_applied_ = 0;
   int ticks_elapsed_ = 0;
+  int epoch_ = 0;
 
   Cluster* cluster_ = nullptr;             // not owned
   RecoveryPlanner* recovery_ = nullptr;    // not owned

@@ -1,0 +1,355 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dsm {
+namespace obs {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = members_.find(key);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatJsonDouble(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  std::string out(buf, res.ptr);
+  // Bare integers like "42" stay valid JSON numbers but lose the "this was
+  // a double" hint on round-trip; that ambiguity is acceptable here.
+  return out;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+             : "";
+  const std::string close_pad =
+      pretty ? std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Type::kDouble:
+      *out += FormatJsonDouble(double_);
+      break;
+    case Type::kString:
+      *out += '"';
+      *out += JsonEscape(string_);
+      *out += '"';
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      *out += nl;
+      for (size_t i = 0; i < items_.size(); ++i) {
+        *out += pad;
+        items_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < items_.size()) *out += ',';
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      *out += nl;
+      size_t i = 0;
+      for (const auto& [key, value] : members_) {
+        *out += pad;
+        *out += '"';
+        *out += JsonEscape(key);
+        *out += '"';
+        *out += colon;
+        value.DumpTo(out, indent, depth + 1);
+        if (++i < members_.size()) *out += ',';
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    DSM_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("json parse error at byte " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      DSM_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (c == 't' || c == 'f') return ParseKeyword();
+    if (c == 'n') return ParseKeyword();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseKeyword() {
+    static const struct {
+      const char* word;
+      JsonValue value;
+    } kKeywords[] = {{"true", JsonValue(true)},
+                     {"false", JsonValue(false)},
+                     {"null", JsonValue()}};
+    for (const auto& kw : kKeywords) {
+      const size_t len = std::string(kw.word).size();
+      if (text_.compare(pos_, len, kw.word) == 0) {
+        pos_ += len;
+        return kw.value;
+      }
+    }
+    return Error("invalid keyword");
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // Only the control-character range is ever emitted by our writer;
+          // encode the code point as UTF-8 for general inputs.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a number");
+    const std::string token = text_.substr(start, pos_ - start);
+    const bool integral =
+        token.find_first_of(".eE") == std::string::npos;
+    if (integral) {
+      int64_t v = 0;
+      const auto res =
+          std::from_chars(token.data(), token.data() + token.size(), v);
+      if (res.ec == std::errc() && res.ptr == token.data() + token.size()) {
+        return JsonValue(v);
+      }
+      // Overflow: fall through to double.
+    }
+    double d = 0.0;
+    const auto res =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (res.ec != std::errc() || res.ptr != token.data() + token.size()) {
+      return Error("malformed number '" + token + "'");
+    }
+    return JsonValue(d);
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) return Error("expected '['");
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    while (true) {
+      DSM_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      arr.Append(std::move(v));
+      SkipWhitespace();
+      if (Consume(']')) return arr;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) return Error("expected '{'");
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWhitespace();
+      DSM_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      DSM_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      obj.Set(key, std::move(v));
+      SkipWhitespace();
+      if (Consume('}')) return obj;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace obs
+}  // namespace dsm

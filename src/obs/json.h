@@ -1,0 +1,120 @@
+// Minimal JSON document model for the observability layer.
+//
+// Every machine-readable artifact this library emits — metrics snapshots,
+// trace dumps, run reports, bench reports — is built as a JsonValue tree
+// and serialized with Dump(). Serialization is deliberately deterministic:
+// object members are stored in a sorted map, integers print without an
+// exponent, and doubles use the shortest round-trip form (std::to_chars),
+// so two structurally identical documents are byte-identical. ParseJson is
+// the matching reader used by tests (round-trip checks) and by the
+// report_lint tool to validate emitted reports without any external
+// dependency.
+
+#ifndef DSM_OBS_JSON_H_
+#define DSM_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dsm {
+namespace obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  JsonValue(int v) : type_(Type::kInt), int_(v) {}     // NOLINT
+  JsonValue(int64_t v) : type_(Type::kInt), int_(v) {}  // NOLINT
+  JsonValue(uint64_t v)  // NOLINT
+      : type_(Type::kInt), int_(static_cast<int64_t>(v)) {}
+  JsonValue(double v) : type_(Type::kDouble), double_(v) {}  // NOLINT
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  JsonValue(std::string s)  // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  // Numeric value regardless of integer/double storage.
+  double number() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  int64_t int_value() const {
+    return type_ == Type::kInt ? int_ : static_cast<int64_t>(double_);
+  }
+  const std::string& string_value() const { return string_; }
+
+  // Array access.
+  std::vector<JsonValue>& items() { return items_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+  // Object access (sorted by key — the source of deterministic output).
+  std::map<std::string, JsonValue>& members() { return members_; }
+  const std::map<std::string, JsonValue>& members() const { return members_; }
+  void Set(const std::string& key, JsonValue v) {
+    members_[key] = std::move(v);
+  }
+  bool Has(const std::string& key) const {
+    return members_.count(key) != 0;
+  }
+  // nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  // Serializes the tree. indent < 0 emits the compact one-line form;
+  // indent >= 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+// Shortest round-trip decimal form of `v` (std::to_chars); "null" is never
+// produced — non-finite values are clamped to 0 (JSON has no inf/nan).
+std::string FormatJsonDouble(double v);
+
+// Strict-enough recursive-descent parser for the documents this library
+// emits (and general JSON): objects, arrays, strings with escapes,
+// integers, doubles, true/false/null. Trailing garbage is an error.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace obs
+}  // namespace dsm
+
+#endif  // DSM_OBS_JSON_H_

@@ -1,0 +1,119 @@
+#include "obs/run_report.h"
+
+namespace dsm {
+namespace obs {
+
+JsonValue RunReport::ToJson(const RunReportOptions& options) const {
+  JsonValue root = JsonValue::Object();
+  root.Set("schema_version", JsonValue(schema_version));
+  root.Set("seed", JsonValue(seed));
+  root.Set("epoch", JsonValue(epoch));
+  root.Set("ticks", JsonValue(ticks));
+  root.Set("updates_applied", JsonValue(updates_applied));
+  root.Set("maintenance_work", JsonValue(maintenance_work));
+
+  JsonValue rec = JsonValue::Object();
+  rec.Set("failures", JsonValue(recovery.failures));
+  rec.Set("recoveries", JsonValue(recovery.recoveries));
+  rec.Set("migrated", JsonValue(recovery.migrated));
+  rec.Set("parked_total", JsonValue(recovery.parked_total));
+  rec.Set("readmitted", JsonValue(recovery.readmitted));
+  rec.Set("last_event_tick", JsonValue(recovery.last_event_tick));
+  rec.Set("migration_cost_delta", JsonValue(recovery.migration_cost_delta));
+  rec.Set("parked_now", JsonValue(parked_now));
+  root.Set("recovery", std::move(rec));
+
+  JsonValue views = JsonValue::Array();
+  for (const auto& [id, size] : view_sizes) {
+    JsonValue v = JsonValue::Object();
+    v.Set("sharing_id", JsonValue(id));
+    v.Set("tuples", JsonValue(size));
+    views.Append(std::move(v));
+  }
+  root.Set("views", std::move(views));
+
+  if (has_costing) {
+    JsonValue cj = JsonValue::Object();
+    cj.Set("alpha", JsonValue(costing.alpha));
+    cj.Set("global_cost", JsonValue(costing.global_cost));
+    cj.Set("criteria_satisfied", JsonValue(costing.criteria_satisfied));
+    JsonValue sharings = JsonValue::Array();
+    for (const auto& [id, ac, lpc] : costing.sharings) {
+      JsonValue s = JsonValue::Object();
+      s.Set("sharing_id", JsonValue(id));
+      s.Set("attributed_cost", JsonValue(ac));
+      s.Set("lpc", JsonValue(lpc));
+      sharings.Append(std::move(s));
+    }
+    cj.Set("sharings", std::move(sharings));
+    root.Set("costing", std::move(cj));
+  }
+
+  root.Set("telemetry", metrics.ToJson(options.include_timings));
+  return root;
+}
+
+namespace {
+
+Status RequireKeys(const JsonValue& doc,
+                   const std::vector<const char*>& keys,
+                   const std::string& what) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument(what + " is not a JSON object");
+  }
+  for (const char* key : keys) {
+    if (!doc.Has(key)) {
+      return Status::InvalidArgument(what + " missing required key '" +
+                                     key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status RequireTelemetry(const JsonValue& doc) {
+  const JsonValue* telemetry = doc.Find("telemetry");
+  DSM_RETURN_IF_ERROR(
+      RequireKeys(*telemetry, {"counters", "gauges"}, "telemetry"));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateRunReportJson(const std::string& text) {
+  DSM_ASSIGN_OR_RETURN(const JsonValue doc, ParseJson(text));
+  DSM_RETURN_IF_ERROR(RequireKeys(
+      doc,
+      {"schema_version", "seed", "epoch", "ticks", "updates_applied",
+       "maintenance_work", "recovery", "views", "telemetry"},
+      "run report"));
+  DSM_RETURN_IF_ERROR(RequireKeys(
+      *doc.Find("recovery"),
+      {"failures", "recoveries", "migrated", "parked_total", "readmitted"},
+      "recovery section"));
+  if (!doc.Find("views")->is_array()) {
+    return Status::InvalidArgument("'views' is not an array");
+  }
+  return RequireTelemetry(doc);
+}
+
+Status ValidateBenchReportJson(const std::string& text) {
+  DSM_ASSIGN_OR_RETURN(const JsonValue doc, ParseJson(text));
+  DSM_RETURN_IF_ERROR(RequireKeys(
+      doc, {"schema_version", "bench", "full_scale", "smoke", "sections",
+            "telemetry"},
+      "bench report"));
+  const JsonValue* sections = doc.Find("sections");
+  if (!sections->is_array()) {
+    return Status::InvalidArgument("'sections' is not an array");
+  }
+  for (const JsonValue& section : sections->items()) {
+    DSM_RETURN_IF_ERROR(RequireKeys(section, {"name", "rows"}, "section"));
+    if (!section.Find("rows")->is_array()) {
+      return Status::InvalidArgument("section 'rows' is not an array");
+    }
+  }
+  return RequireTelemetry(doc);
+}
+
+}  // namespace obs
+}  // namespace dsm

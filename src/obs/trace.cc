@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace dsm {
+namespace obs {
+
+namespace {
+thread_local ScopedSpan* tls_current_span = nullptr;
+}  // namespace
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* const instance = new Tracer();
+  return *instance;
+}
+
+void Tracer::Record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  // Ring full: overwrite the oldest span.
+  ring_[head_] = std::move(span);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceSpan> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+JsonValue Tracer::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  JsonValue spans_json = JsonValue::Array();
+  for (const TraceSpan& span : spans()) {
+    JsonValue sj = JsonValue::Object();
+    sj.Set("id", JsonValue(span.id));
+    sj.Set("parent_id", JsonValue(span.parent_id));
+    sj.Set("depth", JsonValue(span.depth));
+    sj.Set("name", JsonValue(span.name));
+    sj.Set("start_ns", JsonValue(span.start_ns));
+    sj.Set("duration_ns", JsonValue(span.duration_ns));
+    JsonValue ann = JsonValue::Object();
+    for (const auto& [key, value] : span.annotations) {
+      ann.Set(key, JsonValue(value));
+    }
+    sj.Set("annotations", std::move(ann));
+    spans_json.Append(std::move(sj));
+  }
+  root.Set("capacity", JsonValue(capacity_));
+  root.Set("total_recorded", JsonValue(total_recorded()));
+  root.Set("dropped", JsonValue(dropped()));
+  root.Set("spans", std::move(spans_json));
+  return root;
+}
+
+Result<std::vector<TraceSpan>> ParseSpansJson(const std::string& text) {
+  DSM_ASSIGN_OR_RETURN(const JsonValue doc, ParseJson(text));
+  const JsonValue* spans_json = &doc;
+  if (doc.is_object()) {
+    spans_json = doc.Find("spans");
+    if (spans_json == nullptr) {
+      return Status::InvalidArgument("trace dump has no 'spans' array");
+    }
+  }
+  if (!spans_json->is_array()) {
+    return Status::InvalidArgument("'spans' is not an array");
+  }
+  std::vector<TraceSpan> out;
+  out.reserve(spans_json->items().size());
+  for (const JsonValue& sj : spans_json->items()) {
+    if (!sj.is_object()) {
+      return Status::InvalidArgument("span entry is not an object");
+    }
+    TraceSpan span;
+    const JsonValue* field = nullptr;
+    if ((field = sj.Find("id")) == nullptr || !field->is_number()) {
+      return Status::InvalidArgument("span missing numeric 'id'");
+    }
+    span.id = static_cast<uint64_t>(field->int_value());
+    if ((field = sj.Find("parent_id")) != nullptr && field->is_number()) {
+      span.parent_id = static_cast<uint64_t>(field->int_value());
+    }
+    if ((field = sj.Find("depth")) != nullptr && field->is_number()) {
+      span.depth = static_cast<int>(field->int_value());
+    }
+    if ((field = sj.Find("name")) == nullptr || !field->is_string()) {
+      return Status::InvalidArgument("span missing string 'name'");
+    }
+    span.name = field->string_value();
+    if ((field = sj.Find("start_ns")) != nullptr && field->is_number()) {
+      span.start_ns = static_cast<uint64_t>(field->int_value());
+    }
+    if ((field = sj.Find("duration_ns")) != nullptr && field->is_number()) {
+      span.duration_ns = static_cast<uint64_t>(field->int_value());
+    }
+    if ((field = sj.Find("annotations")) != nullptr && field->is_object()) {
+      for (const auto& [key, value] : field->members()) {
+        if (!value.is_string()) {
+          return Status::InvalidArgument("span annotation is not a string");
+        }
+        span.annotations.emplace_back(key, value.string_value());
+      }
+    }
+    out.push_back(std::move(span));
+  }
+  return out;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string name)
+    : tracer_(tracer), parent_(tls_current_span) {
+  span_.id = tracer_->NextSpanId();
+  span_.parent_id = parent_ == nullptr ? 0 : parent_->span_.id;
+  span_.depth = parent_ == nullptr ? 0 : parent_->span_.depth + 1;
+  span_.name = std::move(name);
+  span_.start_ns = tracer_->NowNanos();
+  tls_current_span = this;
+}
+
+ScopedSpan::~ScopedSpan() {
+  span_.duration_ns = tracer_->NowNanos() - span_.start_ns;
+  tls_current_span = parent_;
+  tracer_->Record(std::move(span_));
+}
+
+void ScopedSpan::AnnotateCurrent(std::string key, std::string value) {
+  if (tls_current_span != nullptr) {
+    tls_current_span->Annotate(std::move(key), std::move(value));
+  }
+}
+
+}  // namespace obs
+}  // namespace dsm

@@ -1,5 +1,7 @@
 #include "online/managed_risk.h"
 
+#include "obs/metrics.h"
+
 namespace dsm {
 
 int ManagedRiskPlanner::EffectiveJoins(const Sharing& sharing) const {
@@ -29,7 +31,12 @@ double ManagedRiskPlanner::RegretIncentive(
 double ManagedRiskPlanner::Score(const Sharing& sharing,
                                  const SharingPlan& plan,
                                  const GlobalPlan::PlanEvaluation& eval) {
-  return RegretIncentive(sharing, plan, eval) - eval.marginal_cost;
+  DSM_METRIC_COUNTER_ADD("dsm.online.risk_scores", 1);
+  const double incentive = RegretIncentive(sharing, plan, eval);
+  if (incentive > 0.0) {
+    DSM_METRIC_COUNTER_ADD("dsm.online.risk_incentive_plans", 1);
+  }
+  return incentive - eval.marginal_cost;
 }
 
 void ManagedRiskPlanner::OnPlanChosen(

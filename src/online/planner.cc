@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dsm {
 
 uint64_t OnlinePlanner::IdenticalKey(const Sharing& sharing) const {
@@ -10,6 +13,8 @@ uint64_t OnlinePlanner::IdenticalKey(const Sharing& sharing) const {
 }
 
 Result<PlanChoice> OnlinePlanner::ProcessSharing(const Sharing& sharing) {
+  DSM_METRIC_SCOPED_LATENCY_MS("dsm.online.plan_ms");
+  DSM_TRACE_SPAN("online/process_sharing");
   OnSharingArrived(sharing);
 
   const SharingId id = next_id_++;
@@ -27,6 +32,9 @@ Result<PlanChoice> OnlinePlanner::ProcessSharing(const Sharing& sharing) {
           const GlobalPlan::PlanEvaluation eval,
           ctx_.global_plan->AddSharing(id, sharing, it->second));
       OnPlanChosen(sharing, it->second, eval);
+      DSM_METRIC_COUNTER_ADD("dsm.online.sharings_planned", 1);
+      DSM_METRIC_COUNTER_ADD("dsm.online.reuse_identical_hits", 1);
+      DSM_TRACE_ANNOTATE("reused_identical", "true");
       PlanChoice choice;
       choice.id = id;
       choice.plan = it->second;
@@ -56,6 +64,7 @@ Result<PlanChoice> OnlinePlanner::ProcessSharing(const Sharing& sharing) {
     const double s = Score(sharing, plans[i], eval);
     scored.push_back(Scored{i, s, std::move(eval)});
   }
+  DSM_METRIC_COUNTER_ADD("dsm.online.plans_considered", plans.size());
   std::sort(scored.begin(), scored.end(),
             [](const Scored& a, const Scored& b) { return a.score > b.score; });
 
@@ -68,6 +77,7 @@ Result<PlanChoice> OnlinePlanner::ProcessSharing(const Sharing& sharing) {
         ctx_.global_plan->AddSharing(id, sharing, plans[cand.index]));
     OnPlanChosen(sharing, plans[cand.index], eval);
     identical_plans_[ident] = plans[cand.index];
+    DSM_METRIC_COUNTER_ADD("dsm.online.sharings_planned", 1);
     PlanChoice choice;
     choice.id = id;
     choice.plan = plans[cand.index];
@@ -76,6 +86,7 @@ Result<PlanChoice> OnlinePlanner::ProcessSharing(const Sharing& sharing) {
     choice.plans_considered = plans.size();
     return choice;
   }
+  DSM_METRIC_COUNTER_ADD("dsm.online.sharings_rejected", 1);
   return Status::CapacityExceeded(
       "no feasible plan: sharing rejected (server capacity)");
 }

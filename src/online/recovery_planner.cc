@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dsm {
 
 Result<double> RecoveryPlanner::PlanOnLiveServers(SharingId id,
@@ -31,6 +34,8 @@ Result<double> RecoveryPlanner::PlanOnLiveServers(SharingId id,
 
 Result<RecoveryReport> RecoveryPlanner::OnServerDown(ServerId server,
                                                      int64_t now_tick) {
+  DSM_METRIC_SCOPED_LATENCY_MS("dsm.recovery.server_down_ms");
+  DSM_TRACE_SPAN("recovery/server_down");
   GlobalPlan* gp = ctx_.global_plan;
   RecoveryReport report;
   report.server = server;
@@ -55,6 +60,7 @@ Result<RecoveryReport> RecoveryPlanner::OnServerDown(ServerId server,
   for (const Victim& v : victims) {
     const Result<double> migrated = PlanOnLiveServers(v.id, v.sharing);
     if (migrated.ok()) {
+      DSM_METRIC_COUNTER_ADD("dsm.recovery.migrations", 1);
       report.migrated.push_back(
           MigratedSharing{v.id, v.old_marginal, *migrated, true});
       continue;
@@ -71,6 +77,7 @@ Result<RecoveryReport> RecoveryPlanner::OnServerDown(ServerId server,
     parked.next_retry_tick = now_tick + parked.backoff_ticks;
     parked_.push_back(std::move(parked));
     report.parked.push_back(v.id);
+    DSM_METRIC_COUNTER_ADD("dsm.recovery.parkings", 1);
   }
 
   report.cost_after = gp->TotalCost();
@@ -88,8 +95,10 @@ Result<std::vector<MigratedSharing>> RecoveryPlanner::RetryParked(
       still_parked.push_back(std::move(p));
       continue;
     }
+    DSM_METRIC_COUNTER_ADD("dsm.recovery.retry_attempts", 1);
     const Result<double> placed = PlanOnLiveServers(p.id, p.sharing);
     if (placed.ok()) {
+      DSM_METRIC_COUNTER_ADD("dsm.recovery.readmissions", 1);
       readmitted.push_back(
           MigratedSharing{p.id, p.cost_before, *placed, false});
       continue;

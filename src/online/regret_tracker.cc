@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace dsm {
 
 double RegretTracker::Pending(TableSet s) const {
@@ -28,6 +30,7 @@ void RegretTracker::OnPlanChosen(
   // this sharing contributes to the pending regret of the subexpressions
   // it contains but did not produce.
   const double residual = marginal_cost - consumed_regret;
+  DSM_METRIC_COUNTER_ADD("dsm.online.regret_updates", 1);
 
   for (const TableSet s : produced_full) {
     produced_.insert(s);

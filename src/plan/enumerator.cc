@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dsm {
 namespace {
 
@@ -40,6 +43,9 @@ PlanEnumerator::PlanEnumerator(const Catalog* catalog, const Cluster* cluster,
 
 Result<std::vector<SharingPlan>> PlanEnumerator::Enumerate(
     const Sharing& sharing) const {
+  DSM_METRIC_COUNTER_ADD("dsm.plan.enumerations", 1);
+  DSM_METRIC_SCOPED_LATENCY_MS("dsm.plan.enumerate_ms");
+  DSM_TRACE_SPAN("plan/enumerate");
   const TableSet tables = sharing.tables();
   if (tables.empty()) {
     return Status::InvalidArgument("sharing has no tables");
@@ -163,6 +169,8 @@ Result<std::vector<SharingPlan>> PlanEnumerator::Enumerate(
       // Beam pruning: keep the cheapest fragments only.
       if (options_.per_subset_cap > 0 &&
           slot.size() > options_.per_subset_cap) {
+        DSM_METRIC_COUNTER_ADD("dsm.plan.fragments_pruned",
+                               slot.size() - options_.per_subset_cap);
         std::nth_element(slot.begin(),
                          slot.begin() + static_cast<std::ptrdiff_t>(
                                             options_.per_subset_cap),
@@ -191,9 +199,13 @@ Result<std::vector<SharingPlan>> PlanEnumerator::Enumerate(
       const uint64_t sig = plan.Signature();
       if (!seen.insert(sig).second) continue;
       out.push_back(std::move(plan));
-      if (out.size() >= options_.max_plans) return out;
+      if (out.size() >= options_.max_plans) {
+        DSM_METRIC_COUNTER_ADD("dsm.plan.plans_emitted", out.size());
+        return out;
+      }
     }
   }
+  DSM_METRIC_COUNTER_ADD("dsm.plan.plans_emitted", out.size());
   return out;
 }
 

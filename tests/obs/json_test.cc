@@ -1,0 +1,134 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace dsm {
+namespace obs {
+namespace {
+
+TEST(JsonValueTest, ScalarTypes) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(true).is_bool());
+  EXPECT_TRUE(JsonValue(7).is_number());
+  EXPECT_TRUE(JsonValue(3.5).is_number());
+  EXPECT_TRUE(JsonValue("hi").is_string());
+  EXPECT_TRUE(JsonValue::Array().is_array());
+  EXPECT_TRUE(JsonValue::Object().is_object());
+}
+
+TEST(JsonValueTest, CompactDump) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("b", 2);
+  obj.Set("a", 1);
+  JsonValue arr = JsonValue::Array();
+  arr.Append("x");
+  arr.Append(false);
+  arr.Append(JsonValue());
+  obj.Set("list", std::move(arr));
+  // Members print sorted by key regardless of insertion order.
+  EXPECT_EQ(obj.Dump(), R"({"a":1,"b":2,"list":["x",false,null]})");
+}
+
+TEST(JsonValueTest, PrettyDump) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", 1);
+  EXPECT_EQ(obj.Dump(2), "{\n  \"k\": 1\n}");
+}
+
+TEST(JsonValueTest, DumpIsDeterministic) {
+  auto build = [](bool reversed) {
+    JsonValue obj = JsonValue::Object();
+    if (reversed) {
+      obj.Set("zeta", 1.25);
+      obj.Set("alpha", "v");
+    } else {
+      obj.Set("alpha", "v");
+      obj.Set("zeta", 1.25);
+    }
+    return obj.Dump(2);
+  };
+  EXPECT_EQ(build(false), build(true));
+}
+
+TEST(JsonValueTest, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("\n\t"), "\\n\\t");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonValueTest, DoubleFormatting) {
+  // Integral-valued doubles and true fractions both round-trip.
+  EXPECT_EQ(FormatJsonDouble(0.25), "0.25");
+  const std::string text = FormatJsonDouble(1.0 / 3.0);
+  EXPECT_EQ(std::stod(text), 1.0 / 3.0);
+  // JSON has no inf/nan: non-finite values are clamped, never "null"/"inf".
+  EXPECT_EQ(FormatJsonDouble(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(FormatJsonDouble(std::nan("")), "0");
+}
+
+TEST(JsonParseTest, RoundTripsEmittedDocument) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", "dsm.plan.enumerate_ms");
+  obj.Set("count", static_cast<uint64_t>(42));
+  obj.Set("negative", -17);
+  obj.Set("ratio", 0.125);
+  obj.Set("ok", true);
+  obj.Set("missing", JsonValue());
+  JsonValue arr = JsonValue::Array();
+  for (int i = 0; i < 3; ++i) arr.Append(i);
+  obj.Set("buckets", std::move(arr));
+
+  for (const int indent : {-1, 0, 2, 4}) {
+    const auto parsed = ParseJson(obj.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    // Re-dumping the parse result reproduces the compact form exactly.
+    EXPECT_EQ(parsed->Dump(), obj.Dump());
+  }
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  const auto parsed = ParseJson(R"({"s":"a\"b\\c\nA"})");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* s = parsed->Find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->string_value(), "a\"b\\c\nA");
+}
+
+TEST(JsonParseTest, BareArrayAndScalars) {
+  const auto arr = ParseJson("[1, 2.5, \"x\", null, false]");
+  ASSERT_TRUE(arr.ok());
+  ASSERT_EQ(arr->items().size(), 5u);
+  EXPECT_EQ(arr->items()[0].int_value(), 1);
+  EXPECT_EQ(arr->items()[1].number(), 2.5);
+  EXPECT_EQ(arr->items()[2].string_value(), "x");
+  EXPECT_TRUE(arr->items()[3].is_null());
+  EXPECT_FALSE(arr->items()[4].bool_value());
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  // Trailing garbage after a complete document is an error.
+  EXPECT_FALSE(ParseJson("{} extra").ok());
+}
+
+TEST(JsonParseTest, FindOnNonObjectReturnsNull) {
+  const auto arr = ParseJson("[1]");
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ(arr->Find("k"), nullptr);
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", 1);
+  EXPECT_NE(obj.Find("k"), nullptr);
+  EXPECT_EQ(obj.Find("absent"), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dsm

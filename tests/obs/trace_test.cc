@@ -1,0 +1,199 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dsm {
+namespace obs {
+namespace {
+
+TEST(TracerTest, RecordsSpansOldestFirst) {
+  Tracer tracer(/*capacity=*/8);
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan span;
+    span.id = tracer.NextSpanId();
+    span.name = "span" + std::to_string(i);
+    tracer.Record(std::move(span));
+  }
+  const std::vector<TraceSpan> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "span0");
+  EXPECT_EQ(spans[2].name, "span2");
+  EXPECT_EQ(tracer.total_recorded(), 3u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, RingBufferWraparoundKeepsNewest) {
+  Tracer tracer(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span;
+    span.id = tracer.NextSpanId();
+    span.name = "s" + std::to_string(i);
+    tracer.Record(std::move(span));
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const std::vector<TraceSpan> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first reconstruction across the wrap point: s6..s9 survive.
+  EXPECT_EQ(spans[0].name, "s6");
+  EXPECT_EQ(spans[3].name, "s9");
+}
+
+TEST(TracerTest, ClearEmptiesBufferAndCounters) {
+  Tracer tracer(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span;
+    span.id = tracer.NextSpanId();
+    span.name = "x";
+    tracer.Record(std::move(span));
+  }
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(ScopedSpanTest, NestingTracksParentAndDepth) {
+  Tracer tracer(/*capacity=*/16);
+  {
+    ScopedSpan outer(&tracer, "outer");
+    {
+      ScopedSpan inner(&tracer, "inner");
+      inner.Annotate("key", "value");
+    }
+  }
+  // Spans are recorded on destruction, so inner lands before outer.
+  const std::vector<TraceSpan> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const TraceSpan& inner = spans[0];
+  const TraceSpan& outer = spans[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.parent_id, outer.id);
+  EXPECT_EQ(inner.depth, 1);
+  ASSERT_EQ(inner.annotations.size(), 1u);
+  EXPECT_EQ(inner.annotations[0].first, "key");
+  EXPECT_EQ(inner.annotations[0].second, "value");
+}
+
+TEST(ScopedSpanTest, SiblingsShareParent) {
+  Tracer tracer(/*capacity=*/16);
+  {
+    ScopedSpan parent(&tracer, "parent");
+    { ScopedSpan a(&tracer, "a"); }
+    { ScopedSpan b(&tracer, "b"); }
+  }
+  const std::vector<TraceSpan> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "a");
+  EXPECT_EQ(spans[1].name, "b");
+  EXPECT_EQ(spans[2].name, "parent");
+  EXPECT_EQ(spans[0].parent_id, spans[2].id);
+  EXPECT_EQ(spans[1].parent_id, spans[2].id);
+  // After the first child closed, the second must not parent under it.
+  EXPECT_NE(spans[1].parent_id, spans[0].id);
+}
+
+TEST(ScopedSpanTest, AnnotateCurrentTargetsInnermostOpenSpan) {
+  Tracer tracer(/*capacity=*/16);
+  {
+    ScopedSpan outer(&tracer, "outer");
+    {
+      ScopedSpan inner(&tracer, "inner");
+      ScopedSpan::AnnotateCurrent("who", "inner");
+    }
+    ScopedSpan::AnnotateCurrent("who", "outer");
+  }
+  const std::vector<TraceSpan> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  ASSERT_EQ(spans[0].annotations.size(), 1u);
+  EXPECT_EQ(spans[0].annotations[0].second, "inner");
+  ASSERT_EQ(spans[1].annotations.size(), 1u);
+  EXPECT_EQ(spans[1].annotations[0].second, "outer");
+}
+
+TEST(ScopedSpanTest, DurationIsMeasured) {
+  Tracer tracer(/*capacity=*/4);
+  { ScopedSpan span(&tracer, "timed"); }
+  const std::vector<TraceSpan> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  // Timestamps are relative to the tracer's epoch; neither the start nor
+  // the measured duration can exceed "now".
+  EXPECT_LE(spans[0].start_ns, tracer.NowNanos());
+  EXPECT_LE(spans[0].duration_ns, tracer.NowNanos());
+}
+
+TEST(TracerJsonTest, RoundTripThroughParseSpansJson) {
+  Tracer tracer(/*capacity=*/8);
+  {
+    ScopedSpan outer(&tracer, "plan/enumerate");
+    outer.Annotate("plans", "12");
+    { ScopedSpan inner(&tracer, "plan/prune"); }
+  }
+  const std::string text = tracer.DumpJson(2);
+  const auto parsed = ParseSpansJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<TraceSpan>& spans = *parsed;
+  const std::vector<TraceSpan> original = tracer.spans();
+  ASSERT_EQ(spans.size(), original.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].id, original[i].id);
+    EXPECT_EQ(spans[i].parent_id, original[i].parent_id);
+    EXPECT_EQ(spans[i].depth, original[i].depth);
+    EXPECT_EQ(spans[i].name, original[i].name);
+    EXPECT_EQ(spans[i].start_ns, original[i].start_ns);
+    EXPECT_EQ(spans[i].duration_ns, original[i].duration_ns);
+    EXPECT_EQ(spans[i].annotations, original[i].annotations);
+  }
+}
+
+TEST(TracerJsonTest, ToJsonCarriesBookkeeping) {
+  Tracer tracer(/*capacity=*/2);
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan span;
+    span.id = tracer.NextSpanId();
+    span.name = "n";
+    tracer.Record(std::move(span));
+  }
+  const JsonValue doc = tracer.ToJson();
+  ASSERT_TRUE(doc.Has("capacity"));
+  ASSERT_TRUE(doc.Has("total_recorded"));
+  ASSERT_TRUE(doc.Has("dropped"));
+  ASSERT_TRUE(doc.Has("spans"));
+  EXPECT_EQ(doc.Find("capacity")->int_value(), 2);
+  EXPECT_EQ(doc.Find("total_recorded")->int_value(), 3);
+  EXPECT_EQ(doc.Find("dropped")->int_value(), 1);
+  EXPECT_EQ(doc.Find("spans")->items().size(), 2u);
+}
+
+TEST(TracerJsonTest, ParseAcceptsBareArray) {
+  const auto parsed = ParseSpansJson(
+      R"([{"id":1,"parent_id":0,"depth":0,"name":"x","start_ns":5,)"
+      R"("duration_ns":2,"annotations":{"plans":"3"}}])");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].name, "x");
+  EXPECT_EQ((*parsed)[0].start_ns, 5u);
+  ASSERT_EQ((*parsed)[0].annotations.size(), 1u);
+  EXPECT_EQ((*parsed)[0].annotations[0].first, "plans");
+  EXPECT_EQ((*parsed)[0].annotations[0].second, "3");
+}
+
+TEST(TracerJsonTest, ParseRejectsMalformedSpans) {
+  EXPECT_FALSE(ParseSpansJson("{}").ok());             // no "spans"
+  EXPECT_FALSE(ParseSpansJson(R"({"spans":1})").ok()); // not an array
+  EXPECT_FALSE(ParseSpansJson(R"([{"id":1}])").ok());  // missing name
+  EXPECT_FALSE(ParseSpansJson(R"([{"name":"x"}])").ok());  // missing id
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dsm
