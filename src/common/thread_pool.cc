@@ -1,0 +1,150 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dsm {
+namespace {
+
+// The pool a worker thread belongs to, so nested ParallelFor calls from
+// inside a task detect re-entrancy and run inline instead of deadlocking
+// on their own pool.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+int ResolveThreadCount(const ThreadPoolOptions& options) {
+  if (options.num_threads > 0) return options.num_threads;
+  if (const char* env = std::getenv("DSM_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+    return 1;  // malformed or explicitly disabled: stay serial
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void WaitGroup::Add(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_ += n;
+}
+
+void WaitGroup::Done() {
+  // Notify while holding the lock: the moment the waiter observes
+  // pending_ == 0 it may destroy this WaitGroup, so cv_ must not be
+  // touched after the unlock.
+  std::lock_guard<std::mutex> lock(mu_);
+  --pending_;
+  if (pending_ == 0) cv_.notify_all();
+}
+
+void WaitGroup::CaptureException(std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error_) error_ = std::move(e);
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  if (error_) {
+    std::exception_ptr e = std::move(error_);
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+ThreadPool::ThreadPool(ThreadPoolOptions options)
+    : num_threads_(ResolveThreadCount(options)) {
+  DSM_METRIC_GAUGE_SET("dsm.common.pool_threads", num_threads_);
+  if (num_threads_ <= 1) return;  // inline mode: no workers
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  current_pool = this;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::OnWorkerThread() const { return current_pool == this; }
+
+void ThreadPool::Submit(WaitGroup* wg, std::function<void()> fn) {
+  DSM_METRIC_COUNTER_ADD("dsm.common.pool_tasks", 1);
+  wg->Add(1);
+  auto wrapped = [wg, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (...) {
+      wg->CaptureException(std::current_exception());
+    }
+    wg->Done();
+  };
+  // Inline mode — single-threaded pools and re-entrant submissions from a
+  // worker run the task immediately on the calling thread, preserving
+  // submission order exactly.
+  if (num_threads_ <= 1 || OnWorkerThread()) {
+    DSM_METRIC_COUNTER_ADD("dsm.common.pool_tasks_inline", 1);
+    wrapped();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(wrapped));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || num_threads_ <= 1 || OnWorkerThread()) {
+    // Same exception contract as the pooled path: the whole batch runs,
+    // the first exception is rethrown afterwards.
+    std::exception_ptr first;
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+  WaitGroup wg;
+  for (size_t i = 0; i < n; ++i) {
+    Submit(&wg, [&fn, i] { fn(i); });
+  }
+  wg.Wait();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* const pool = new ThreadPool(ThreadPoolOptions{});
+  return *pool;
+}
+
+}  // namespace dsm

@@ -1,5 +1,7 @@
 #include "maintain/delta_engine.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -17,6 +19,13 @@ std::vector<std::string> TableColumnNames(const Catalog& catalog,
 
 }  // namespace
 
+DeltaEngine::DeltaEngine(const Catalog* catalog, DeltaEngineOptions options)
+    : catalog_(catalog), options_(options) {
+  if (ResolveThreadCount(options_.pool) > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.pool);
+  }
+}
+
 Status DeltaEngine::RegisterBase(TableId table) {
   if (table >= catalog_->num_tables()) {
     return Status::InvalidArgument("unknown table id");
@@ -28,15 +37,28 @@ Status DeltaEngine::RegisterBase(TableId table) {
   return Status::OK();
 }
 
-Relation DeltaEngine::ApplyTablePredicates(const ViewKey& key, TableId table,
-                                           Relation rel) const {
+bool DeltaEngine::HasPredicatesOn(const ViewKey& key, TableId table) const {
+  const TableDef& def = catalog_->table(table);
+  for (const Predicate& pred : key.predicates) {
+    if (pred.table == table && pred.column < def.columns.size()) return true;
+  }
+  return false;
+}
+
+const Relation& DeltaEngine::ApplyTablePredicates(const ViewKey& key,
+                                                  TableId table,
+                                                  const Relation& rel,
+                                                  Relation* scratch) const {
+  const Relation* cur = &rel;
   for (const Predicate& pred : key.predicates) {
     if (pred.table != table) continue;
     const TableDef& def = catalog_->table(table);
     if (pred.column >= def.columns.size()) continue;
-    rel = rel.Filter(def.columns[pred.column].name, pred.op, pred.value);
+    *scratch = cur->Filter(def.columns[pred.column].name, pred.op,
+                           pred.value);
+    cur = scratch;
   }
-  return rel;
+  return *cur;
 }
 
 Result<Relation> DeltaEngine::Recompute(const ViewKey& key) const {
@@ -48,9 +70,11 @@ Result<Relation> DeltaEngine::Recompute(const ViewKey& key) const {
     if (it == bases_.end()) {
       return Status::NotFound("view references an unregistered base table");
     }
-    Relation filtered = ApplyTablePredicates(key, t, it->second);
+    Relation scratch;
+    const Relation& filtered =
+        ApplyTablePredicates(key, t, it->second, &scratch);
     if (first) {
-      acc = std::move(filtered);
+      acc = filtered;
       first = false;
     } else {
       acc = NaturalJoin(acc, filtered, nullptr);
@@ -66,11 +90,193 @@ Result<Relation> DeltaEngine::Recompute(
   return full.Project(projection);
 }
 
+std::vector<DeltaEngine::JoinStep> DeltaEngine::BuildJoinPlan(
+    const ViewKey& key, TableId delta_table) const {
+  // Orders the probes by connectivity: each step joins the lowest-id
+  // remaining table that shares a column with the schema accumulated so
+  // far, so a delta entering mid-chain never takes a cartesian product
+  // with an unconnected table (ascending order did exactly that for
+  // deltas on a chain's tail, and the blowup dwarfed every other cost).
+  // Only if no remaining table connects — a genuinely disconnected view —
+  // does the plan fall back to the lowest-id table.
+  std::vector<std::string> schema = TableColumnNames(*catalog_, delta_table);
+  std::vector<TableId> remaining;
+  for (const TableId other : key.tables.ToVector()) {
+    if (other != delta_table) remaining.push_back(other);
+  }
+  std::vector<JoinStep> steps;
+  while (!remaining.empty()) {
+    size_t pick = 0;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (!SharedJoinColumns(schema, bases_.at(remaining[i])).empty()) {
+        pick = i;
+        break;
+      }
+    }
+    const Relation& rel = bases_.at(remaining[pick]);
+    JoinStep step;
+    step.other = remaining[pick];
+    step.key_columns = SharedJoinColumns(schema, rel);
+    for (const std::string& col : rel.columns()) {
+      if (std::find(schema.begin(), schema.end(), col) == schema.end()) {
+        schema.push_back(col);
+      }
+    }
+    steps.push_back(std::move(step));
+    remaining.erase(remaining.begin() + static_cast<long>(pick));
+  }
+  return steps;
+}
+
 Result<ViewId> DeltaEngine::RegisterView(const ViewKey& key,
                                          std::vector<std::string> projection) {
   DSM_ASSIGN_OR_RETURN(Relation initial, Recompute(key, projection));
-  views_.push_back(View{key, std::move(projection), std::move(initial)});
+  View view;
+  view.key = key;
+  view.projection = std::move(projection);
+  view.contents = std::move(initial);
+  for (const TableId t : key.tables.ToVector()) {
+    view.join_plans[t] = BuildJoinPlan(key, t);
+  }
+  views_.push_back(std::move(view));
   return views_.size() - 1;
+}
+
+void DeltaEngine::PrepareOperands(ViewId id, TableId table) {
+  const View& view = views_[id];
+  for (const JoinStep& step : view.join_plans.at(table)) {
+    Operand& op = operands_[{id, step.other}];
+    if (op.filtered == nullptr && !op.use_base) {
+      if (HasPredicatesOn(view.key, step.other)) {
+        Relation scratch;
+        const Relation& filtered = ApplyTablePredicates(
+            view.key, step.other, bases_.at(step.other), &scratch);
+        (void)filtered;  // predicates exist, so `filtered` aliases scratch
+        op.filtered = std::make_unique<Relation>(std::move(scratch));
+      } else {
+        op.use_base = true;
+      }
+      DSM_METRIC_COUNTER_ADD("dsm.maintain.operand_cache_builds", 1);
+    } else {
+      DSM_METRIC_COUNTER_ADD("dsm.maintain.operand_cache_hits", 1);
+    }
+    Relation& rel = op.use_base ? bases_.at(step.other) : *op.filtered;
+    rel.EnsureIndex(step.key_columns);
+  }
+}
+
+const Relation& DeltaEngine::OperandRelation(ViewId id,
+                                             TableId other) const {
+  const Operand& op = operands_.at({id, other});
+  return op.use_base ? bases_.at(other) : *op.filtered;
+}
+
+uint64_t DeltaEngine::MaintainView(ViewId id, TableId table,
+                                   const Relation& delta) {
+  DSM_METRIC_COUNTER_ADD("dsm.maintain.view_refreshes", 1);
+  View& view = views_[id];
+  uint64_t local_work = 0;
+  Relation delta_scratch;
+  const Relation* cur =
+      &ApplyTablePredicates(view.key, table, delta, &delta_scratch);
+  Relation owned;
+  if (options_.operand_cache) {
+    for (const JoinStep& step : view.join_plans.at(table)) {
+      const Relation& operand = OperandRelation(id, step.other);
+      const Relation::JoinIndex* index =
+          operand.FindIndex(step.key_columns);
+      owned = index != nullptr
+                  ? NaturalJoin(*cur, operand, *index, &local_work)
+                  : NaturalJoin(*cur, operand, &local_work);
+      cur = &owned;
+    }
+  } else {
+    // Legacy path: same connectivity-ordered plan, but re-filters (and
+    // re-hashes, inside NaturalJoin) every operand on every update.
+    for (const JoinStep& step : view.join_plans.at(table)) {
+      Relation scratch;
+      const Relation& filtered = ApplyTablePredicates(
+          view.key, step.other, bases_.at(step.other), &scratch);
+      owned = NaturalJoin(*cur, filtered, &local_work);
+      cur = &owned;
+    }
+  }
+  // Project to the view's output columns (bag semantics keep projected
+  // deltas exact), then permute into the view's canonical column order.
+  Relation result;
+  if (cur == &owned) {
+    result = std::move(owned);
+  } else if (cur == &delta_scratch) {
+    result = std::move(delta_scratch);
+  } else {
+    result = *cur;  // single-table unpredicated view: delta-sized copy
+  }
+  if (!view.projection.empty()) {
+    result = result.Project(view.projection);
+  }
+  result = result.WithColumnOrder(view.contents.columns());
+  for (const auto& [tuple, count] : result.rows()) {
+    view.contents.Apply(tuple, count);
+  }
+  return local_work;
+}
+
+Status DeltaEngine::PropagateDelta(TableId table, const Relation& delta) {
+  DSM_METRIC_COUNTER_ADD("dsm.maintain.updates", 1);
+  DSM_METRIC_SCOPED_LATENCY_MS("dsm.maintain.apply_ms");
+  DSM_TRACE_SPAN("maintain/apply_update");
+
+  std::vector<ViewId> affected;
+  for (ViewId id = 0; id < views_.size(); ++id) {
+    if (views_[id].active && views_[id].key.tables.Contains(table)) {
+      affected.push_back(id);
+    }
+  }
+  if (affected.empty()) return Status::OK();
+
+  // Serial prelude: materialize every operand cache and index the fan-out
+  // will probe. After this point shared state is read-only until the
+  // barrier.
+  if (options_.operand_cache) {
+    for (const ViewId id : affected) PrepareOperands(id, table);
+  }
+
+  std::vector<uint64_t> task_work(affected.size(), 0);
+  const auto maintain = [&](size_t i) {
+    task_work[i] = MaintainView(affected[i], table, delta);
+  };
+  if (pool_ != nullptr && affected.size() > 1) {
+    pool_->ParallelFor(affected.size(), maintain);
+  } else {
+    for (size_t i = 0; i < affected.size(); ++i) maintain(i);
+  }
+  // Deterministic merge: summation in view order, independent of which
+  // thread ran which view.
+  for (const uint64_t w : task_work) work_ += w;
+  DSM_METRIC_GAUGE_SET("dsm.maintain.join_work",
+                       static_cast<double>(work_));
+  return Status::OK();
+}
+
+void DeltaEngine::MergeDelta(TableId table, const Relation& delta) {
+  Relation& base = bases_.at(table);
+  for (const auto& [tuple, count] : delta.rows()) {
+    base.Apply(tuple, count);  // also patches the base's indexes
+  }
+  // Patch every cached filtered operand over this table — including those
+  // of inactive views, whose caches must stay consistent with the base for
+  // re-admission.
+  for (auto& [key, op] : operands_) {
+    if (key.second != table || op.filtered == nullptr) continue;
+    const View& view = views_[key.first];
+    Relation scratch;
+    const Relation& filtered =
+        ApplyTablePredicates(view.key, table, delta, &scratch);
+    for (const auto& [tuple, count] : filtered.rows()) {
+      op.filtered->Apply(tuple, count);
+    }
+    DSM_METRIC_COUNTER_ADD("dsm.maintain.operand_cache_patches", 1);
+  }
 }
 
 Status DeltaEngine::ApplyUpdate(TableId table,
@@ -80,46 +286,46 @@ Status DeltaEngine::ApplyUpdate(TableId table,
   if (base_it == bases_.end()) {
     return Status::NotFound("base table not registered");
   }
-  DSM_METRIC_COUNTER_ADD("dsm.maintain.updates", 1);
   DSM_METRIC_COUNTER_ADD("dsm.maintain.delta_tuples",
                          inserts.size() + deletes.size());
-  DSM_METRIC_SCOPED_LATENCY_MS("dsm.maintain.apply_ms");
-  DSM_TRACE_SPAN("maintain/apply_update");
 
   // The signed delta relation ΔT.
   Relation delta(base_it->second.columns());
   for (const Tuple& t : inserts) delta.Apply(t, +1);
   for (const Tuple& t : deletes) delta.Apply(t, -1);
 
-  // Propagate to every view over `table`: ΔV = σ(ΔT) ⋈ σ(T_other) ...,
-  // using the *current* (pre-update) state of the other base tables.
-  for (View& view : views_) {
-    if (!view.active || !view.key.tables.Contains(table)) continue;
-    DSM_METRIC_COUNTER_ADD("dsm.maintain.view_refreshes", 1);
-    Relation cur = ApplyTablePredicates(view.key, table, delta);
-    for (const TableId other : view.key.tables.ToVector()) {
-      if (other == table) continue;
-      const Relation filtered =
-          ApplyTablePredicates(view.key, other, bases_.at(other));
-      cur = NaturalJoin(cur, filtered, &work_);
-    }
-    // Project to the view's output columns (bag semantics keep projected
-    // deltas exact), then permute into the view's canonical column order.
-    if (!view.projection.empty()) {
-      cur = cur.Project(view.projection);
-    }
-    cur = cur.WithColumnOrder(view.contents.columns());
-    for (const auto& [tuple, count] : cur.rows()) {
-      view.contents.Apply(tuple, count);
-    }
-  }
+  DSM_RETURN_IF_ERROR(PropagateDelta(table, delta));
+  MergeDelta(table, delta);
+  return Status::OK();
+}
 
-  // Merge the delta into the base relation.
-  for (const auto& [tuple, count] : delta.rows()) {
-    base_it->second.Apply(tuple, count);
+Status DeltaEngine::ApplyUpdates(std::span<const TableUpdate> updates) {
+  for (const TableUpdate& update : updates) {
+    if (bases_.find(update.table) == bases_.end()) {
+      return Status::NotFound("base table not registered");
+    }
   }
-  DSM_METRIC_GAUGE_SET("dsm.maintain.join_work",
-                       static_cast<double>(work_));
+  DSM_METRIC_COUNTER_ADD("dsm.maintain.batches", 1);
+
+  // Coalesce per table (ascending), so each view is refreshed once per
+  // table regardless of how fragmented the batch is.
+  std::map<TableId, Relation> deltas;
+  for (const TableUpdate& update : updates) {
+    DSM_METRIC_COUNTER_ADD("dsm.maintain.delta_tuples",
+                           update.inserts.size() + update.deletes.size());
+    auto [it, inserted] = deltas.try_emplace(
+        update.table, Relation(bases_.at(update.table).columns()));
+    if (!inserted) {
+      DSM_METRIC_COUNTER_ADD("dsm.maintain.batch_coalesced", 1);
+    }
+    Relation& delta = it->second;
+    for (const Tuple& t : update.inserts) delta.Apply(t, +1);
+    for (const Tuple& t : update.deletes) delta.Apply(t, -1);
+  }
+  for (const auto& [table, delta] : deltas) {
+    DSM_RETURN_IF_ERROR(PropagateDelta(table, delta));
+    MergeDelta(table, delta);
+  }
   return Status::OK();
 }
 

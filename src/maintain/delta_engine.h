@@ -9,15 +9,34 @@
 // pipeline of the paper's Figure 2, collapsed onto one machine. It also
 // meters the work performed, providing a measured counterpart to the
 // DefaultCostModel's CPU estimates.
+//
+// Two amortizations make maintenance scale with the sharing population
+// (DESIGN.md §10):
+//  * Operand caching. For every (view, base table) pair the engine keeps
+//    the filtered join operand — σ_view(T) — as a persistent relation with
+//    a prebuilt equi-join index, incrementally patched by each delta
+//    instead of being re-filtered and re-hashed from scratch per update.
+//    Views without predicates on a table share the base relation (and its
+//    index) directly; no copy is made.
+//  * Parallel fan-out. Views are independent, so per-view delta
+//    propagation runs on a ThreadPool (DeltaEngineOptions::pool, honoring
+//    DSM_THREADS). Tasks read shared state (bases, operand caches) that is
+//    frozen during the fan-out and write only their own view; join-work
+//    counts accumulate per task and merge after the barrier, so results
+//    and meters are identical for every pool size.
 
 #ifndef DSM_MAINTAIN_DELTA_ENGINE_H_
 #define DSM_MAINTAIN_DELTA_ENGINE_H_
 
 #include <map>
+#include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "expr/view_key.h"
 #include "maintain/relation.h"
 
@@ -25,9 +44,27 @@ namespace dsm {
 
 using ViewId = size_t;
 
+// One base table's batch of a multi-table update round.
+struct TableUpdate {
+  TableId table = 0;
+  std::vector<Tuple> inserts;
+  std::vector<Tuple> deletes;
+};
+
+struct DeltaEngineOptions {
+  // Sizing for the per-view fan-out pool. The default resolves through
+  // DSM_THREADS; num_threads = 1 forces fully serial maintenance.
+  ThreadPoolOptions pool;
+  // Keep per-(view, table) filtered+indexed operands between updates.
+  // Disabling falls back to re-filtering every base table per update (the
+  // pre-cache behavior; kept for benchmarking the cache's effect).
+  bool operand_cache = true;
+};
+
 class DeltaEngine {
  public:
-  explicit DeltaEngine(const Catalog* catalog) : catalog_(catalog) {}
+  explicit DeltaEngine(const Catalog* catalog,
+                       DeltaEngineOptions options = {});
 
   DeltaEngine(const DeltaEngine&) = delete;
   DeltaEngine& operator=(const DeltaEngine&) = delete;
@@ -47,6 +84,14 @@ class DeltaEngine {
   // table are brought up to date, then the base relation is updated.
   Status ApplyUpdate(TableId table, const std::vector<Tuple>& inserts,
                      const std::vector<Tuple>& deletes);
+
+  // Batched entry point: coalesces same-table deltas, then propagates one
+  // combined delta per table in ascending table order. Equivalent to the
+  // corresponding sequence of ApplyUpdate calls (deltas to one table
+  // commute through filters and joins), but each view is refreshed once
+  // per table instead of once per batch entry. Validates every table
+  // before touching any state.
+  Status ApplyUpdates(std::span<const TableUpdate> updates);
 
   // Degraded mode: an inactive view is not maintained (its contents are
   // dropped — the hosting machine is gone). Reactivating recomputes the
@@ -70,24 +115,79 @@ class DeltaEngine {
                              const std::vector<std::string>& projection)
       const;
 
-  // Tuple-pairs probed by joins so far (measured maintenance work).
+  // Tuple-pairs probed by joins so far (measured maintenance work). The
+  // value is identical for every pool size and with the operand cache on
+  // or off: caching changes where the operand comes from, not which pairs
+  // match.
   uint64_t work() const { return work_; }
 
+  const DeltaEngineOptions& options() const { return options_; }
+  // Materialized (view, table) operand caches built so far.
+  size_t num_cached_operands() const { return operands_.size(); }
+
  private:
+  // One probe step of a view's delta-propagation join pipeline.
+  struct JoinStep {
+    TableId other = 0;
+    // Shared columns between the accumulated join schema and `other`, in
+    // `other`-schema order — the key the operand's index is built on.
+    std::vector<std::string> key_columns;
+  };
+
   struct View {
     ViewKey key;
     std::vector<std::string> projection;  // empty = all columns
     Relation contents;
     bool active = true;
+    // Per updated table: the other tables in join order with the index
+    // key for each probe. Fixed at registration (schemas are static).
+    std::map<TableId, std::vector<JoinStep>> join_plans;
   };
 
-  // Filters `rel` by the key's predicates that apply to `table`.
-  Relation ApplyTablePredicates(const ViewKey& key, TableId table,
-                                Relation rel) const;
+  // Cached filtered operand for one (view, table) pair. When the view has
+  // no (applicable) predicates on the table, the shared base relation is
+  // used directly instead of a copy.
+  struct Operand {
+    std::unique_ptr<Relation> filtered;  // null when use_base
+    bool use_base = false;
+  };
+
+  // Returns `rel` filtered by the key's predicates that apply to `table`;
+  // when none apply the input reference is returned and `scratch` is left
+  // untouched (no copy).
+  const Relation& ApplyTablePredicates(const ViewKey& key, TableId table,
+                                       const Relation& rel,
+                                       Relation* scratch) const;
+  bool HasPredicatesOn(const ViewKey& key, TableId table) const;
+
+  std::vector<JoinStep> BuildJoinPlan(const ViewKey& key,
+                                      TableId delta_table) const;
+
+  // Serial prelude to a fan-out: materializes the operand caches and
+  // indexes every affected view will probe, so the parallel phase only
+  // reads shared state.
+  void PrepareOperands(ViewId id, TableId table);
+  const Relation& OperandRelation(ViewId id, TableId other) const;
+
+  // Joins the (filtered) delta through the view's pipeline and merges the
+  // result into the view. Returns the join work performed. Thread-safe
+  // across distinct views: reads frozen shared state, writes only `view`.
+  uint64_t MaintainView(ViewId id, TableId table, const Relation& delta);
+
+  // Refreshes every active view over `table` (fanning out when a pool is
+  // available), without merging the delta into the base.
+  Status PropagateDelta(TableId table, const Relation& delta);
+  // Merges the delta into the base relation and patches every cached
+  // filtered operand over `table` (active or not — parked views' caches
+  // must stay fresh for re-admission).
+  void MergeDelta(TableId table, const Relation& delta);
 
   const Catalog* catalog_;
+  DeltaEngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when maintenance is serial
   std::map<TableId, Relation> bases_;
   std::vector<View> views_;
+  std::map<std::pair<ViewId, TableId>, Operand> operands_;
   uint64_t work_ = 0;
 };
 

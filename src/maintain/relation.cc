@@ -1,8 +1,45 @@
 #include "maintain/relation.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace dsm {
+namespace {
+
+// Column bookkeeping shared by both NaturalJoin overloads.
+struct JoinShape {
+  std::vector<int> shared_a;  // positions in a of the join columns
+  std::vector<int> shared_b;  // positions in b of the join columns
+  std::vector<int> b_extra;   // positions in b of the non-shared columns
+  std::vector<std::string> out_columns;
+};
+
+JoinShape ComputeJoinShape(const Relation& a, const Relation& b) {
+  JoinShape shape;
+  for (size_t i = 0; i < b.columns().size(); ++i) {
+    const int in_a = a.FindColumn(b.columns()[i]);
+    if (in_a >= 0) {
+      shape.shared_a.push_back(in_a);
+      shape.shared_b.push_back(static_cast<int>(i));
+    } else {
+      shape.b_extra.push_back(static_cast<int>(i));
+    }
+  }
+  shape.out_columns = a.columns();
+  for (const int i : shape.b_extra) {
+    shape.out_columns.push_back(b.columns()[static_cast<size_t>(i)]);
+  }
+  return shape;
+}
+
+Tuple ProjectKey(const Tuple& tuple, const std::vector<int>& positions) {
+  Tuple key;
+  key.reserve(positions.size());
+  for (const int i : positions) key.push_back(tuple[static_cast<size_t>(i)]);
+  return key;
+}
+
+}  // namespace
 
 int Relation::FindColumn(const std::string& name) const {
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -16,10 +53,58 @@ void Relation::Apply(const Tuple& tuple, int64_t delta) {
   const auto it = rows_.find(tuple);
   if (it == rows_.end()) {
     rows_.emplace(tuple, delta);
+  } else {
+    it->second += delta;
+    if (it->second == 0) rows_.erase(it);
+  }
+  for (const auto& index : indexes_) {
+    PatchIndex(index.get(), tuple, delta);
+  }
+}
+
+void Relation::PatchIndex(JoinIndex* index, const Tuple& tuple,
+                          int64_t delta) {
+  Tuple key = ProjectKey(tuple, index->key_positions);
+  auto& bucket = index->buckets[std::move(key)];
+  for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+    if (it->first != tuple) continue;
+    it->second += delta;
+    if (it->second == 0) {
+      bucket.erase(it);
+      if (bucket.empty()) {
+        index->buckets.erase(ProjectKey(tuple, index->key_positions));
+      }
+    }
     return;
   }
-  it->second += delta;
-  if (it->second == 0) rows_.erase(it);
+  bucket.emplace_back(tuple, delta);
+}
+
+const Relation::JoinIndex* Relation::EnsureIndex(
+    const std::vector<std::string>& key_columns) {
+  if (const JoinIndex* existing = FindIndex(key_columns)) return existing;
+  auto index = std::make_unique<JoinIndex>();
+  index->key_columns = key_columns;
+  index->key_positions.reserve(key_columns.size());
+  for (const std::string& name : key_columns) {
+    const int pos = FindColumn(name);
+    assert(pos >= 0 && "index key column not in schema");
+    index->key_positions.push_back(pos);
+  }
+  for (const auto& [tuple, count] : rows_) {
+    index->buckets[ProjectKey(tuple, index->key_positions)].emplace_back(
+        tuple, count);
+  }
+  indexes_.push_back(std::move(index));
+  return indexes_.back().get();
+}
+
+const Relation::JoinIndex* Relation::FindIndex(
+    const std::vector<std::string>& key_columns) const {
+  for (const auto& index : indexes_) {
+    if (index->key_columns == key_columns) return index.get();
+  }
+  return nullptr;
 }
 
 int64_t Relation::Count(const Tuple& tuple) const {
@@ -95,53 +180,82 @@ Relation Relation::Project(const std::vector<std::string>& columns) const {
   return out;
 }
 
-Relation NaturalJoin(const Relation& a, const Relation& b, uint64_t* work) {
-  // Output schema: a's columns then b's non-shared columns.
-  std::vector<int> shared_a;
-  std::vector<int> shared_b;
-  std::vector<int> b_extra;
-  for (size_t i = 0; i < b.columns().size(); ++i) {
-    const int in_a = a.FindColumn(b.columns()[i]);
-    if (in_a >= 0) {
-      shared_a.push_back(in_a);
-      shared_b.push_back(static_cast<int>(i));
-    } else {
-      b_extra.push_back(static_cast<int>(i));
+std::vector<std::string> SharedJoinColumns(
+    const std::vector<std::string>& a_columns, const Relation& b) {
+  std::vector<std::string> shared;
+  for (const std::string& name : b.columns()) {
+    if (std::find(a_columns.begin(), a_columns.end(), name) !=
+        a_columns.end()) {
+      shared.push_back(name);
     }
   }
-  std::vector<std::string> out_columns = a.columns();
-  for (const int i : b_extra) {
-    out_columns.push_back(b.columns()[static_cast<size_t>(i)]);
-  }
-  Relation out(std::move(out_columns));
+  return shared;
+}
 
-  // Hash b on its shared-column projection.
-  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
-  std::unordered_map<const Tuple*, int64_t> b_count;
-  for (const auto& [tuple, count] : b.rows()) {
-    Tuple key;
-    key.reserve(shared_b.size());
-    for (const int i : shared_b) key.push_back(tuple[static_cast<size_t>(i)]);
-    index[std::move(key)].push_back(&tuple);
-    b_count[&tuple] = count;
-  }
+namespace {
 
+// Probe loop shared by both overloads: `buckets` maps a key projection of
+// b to its (row, count) pairs.
+template <typename Buckets>
+Relation ProbeJoin(const Relation& a, const JoinShape& shape,
+                   const Buckets& buckets, uint64_t* work) {
+  Relation out(shape.out_columns);
   for (const auto& [ta, ca] : a.rows()) {
-    Tuple key;
-    key.reserve(shared_a.size());
-    for (const int i : shared_a) key.push_back(ta[static_cast<size_t>(i)]);
-    const auto it = index.find(key);
-    if (it == index.end()) continue;
-    for (const Tuple* tb : it->second) {
+    const auto it = buckets.find(ProjectKey(ta, shape.shared_a));
+    if (it == buckets.end()) continue;
+    for (const auto& [tb, cb] : it->second) {
       if (work != nullptr) ++*work;
       Tuple joined = ta;
-      for (const int i : b_extra) {
-        joined.push_back((*tb)[static_cast<size_t>(i)]);
+      for (const int i : shape.b_extra) {
+        joined.push_back(tb[static_cast<size_t>(i)]);
       }
-      out.Apply(joined, ca * b_count[tb]);
+      out.Apply(joined, ca * cb);
     }
   }
   return out;
+}
+
+}  // namespace
+
+Relation NaturalJoin(const Relation& a, const Relation& b, uint64_t* work) {
+  const JoinShape shape = ComputeJoinShape(a, b);
+  // Transient index on b's shared-column projection; buckets hold
+  // (row pointer, count) pairs so each probe is one hash lookup.
+  std::unordered_map<Tuple,
+                     std::vector<std::pair<const Tuple*, int64_t>>,
+                     TupleHash>
+      index;
+  for (const auto& [tuple, count] : b.rows()) {
+    index[ProjectKey(tuple, shape.shared_b)].emplace_back(&tuple, count);
+  }
+
+  Relation out(shape.out_columns);
+  for (const auto& [ta, ca] : a.rows()) {
+    const auto it = index.find(ProjectKey(ta, shape.shared_a));
+    if (it == index.end()) continue;
+    for (const auto& [tb, cb] : it->second) {
+      if (work != nullptr) ++*work;
+      Tuple joined = ta;
+      for (const int i : shape.b_extra) {
+        joined.push_back((*tb)[static_cast<size_t>(i)]);
+      }
+      out.Apply(joined, ca * cb);
+    }
+  }
+  return out;
+}
+
+Relation NaturalJoin(const Relation& a, const Relation& b,
+                     const Relation::JoinIndex& b_index, uint64_t* work) {
+  const JoinShape shape = ComputeJoinShape(a, b);
+  // The prebuilt index must be keyed on exactly the shared columns; a
+  // mismatched index cannot answer this join, so fall back to the
+  // transient-index path rather than probe garbage.
+  if (shape.shared_b != b_index.key_positions) {
+    assert(false && "join index key does not match the shared columns");
+    return NaturalJoin(a, b, work);
+  }
+  return ProbeJoin(a, shape, b_index.buckets, work);
 }
 
 }  // namespace dsm

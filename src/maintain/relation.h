@@ -2,12 +2,21 @@
 // representation used by the incremental (counting-algorithm) view
 // maintenance engine. Negative counts occur only transiently inside delta
 // relations; materialized views and base tables stay non-negative.
+//
+// A relation can carry persistent equi-join indexes (EnsureIndex): each
+// maps the projection of a row onto a fixed column subset to the rows
+// carrying that key, with multiplicities. Indexes are patched in place by
+// every Apply(), so a long-lived operand (a base table, or a cached
+// filtered copy of one) pays the hash build once instead of once per join.
+// Copies drop indexes (a copy is a fresh operand); moves keep them.
 
 #ifndef DSM_MAINTAIN_RELATION_H_
 #define DSM_MAINTAIN_RELATION_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "expr/predicate.h"
@@ -17,14 +26,43 @@ namespace dsm {
 
 class Relation {
  public:
+  // A persistent hash index on the projection of each row onto
+  // `key_columns`. Buckets store (row, count) value pairs — probing never
+  // chases pointers into rows_, so rehashes and erasures there are
+  // harmless. Empty `key_columns` is allowed: every row lands in one
+  // bucket (the cross-product case).
+  struct JoinIndex {
+    std::vector<std::string> key_columns;  // names, in b-schema order
+    std::vector<int> key_positions;        // same, as column positions
+    std::unordered_map<Tuple, std::vector<std::pair<Tuple, int64_t>>,
+                       TupleHash>
+        buckets;
+  };
+
   Relation() = default;
   explicit Relation(std::vector<std::string> column_names)
       : columns_(std::move(column_names)) {}
+
+  // Copies carry rows but not indexes (consumers index what they need);
+  // moves carry both.
+  Relation(const Relation& other)
+      : columns_(other.columns_), rows_(other.rows_) {}
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      columns_ = other.columns_;
+      rows_ = other.rows_;
+      indexes_.clear();
+    }
+    return *this;
+  }
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
 
   const std::vector<std::string>& columns() const { return columns_; }
   int FindColumn(const std::string& name) const;
 
   // Adds `delta` to the tuple's multiplicity (entries at zero are erased).
+  // Every persistent index is patched to match.
   void Apply(const Tuple& tuple, int64_t delta);
 
   int64_t Count(const Tuple& tuple) const;
@@ -37,6 +75,15 @@ class Relation {
   }
 
   bool BagEquals(const Relation& other) const;
+
+  // Returns the persistent index keyed on `key_columns` (each name must be
+  // in the schema), building it on first request. The pointer stays valid
+  // and current — Apply() patches it — for the relation's lifetime.
+  const JoinIndex* EnsureIndex(const std::vector<std::string>& key_columns);
+  // nullptr when no index on exactly `key_columns` exists yet.
+  const JoinIndex* FindIndex(
+      const std::vector<std::string>& key_columns) const;
+  size_t num_indexes() const { return indexes_.size(); }
 
   // Tuples satisfying `column op constant`; schema unchanged. Columns
   // absent from the schema leave the relation unfiltered.
@@ -55,14 +102,31 @@ class Relation {
   Relation Project(const std::vector<std::string>& columns) const;
 
  private:
+  void PatchIndex(JoinIndex* index, const Tuple& tuple, int64_t delta);
+
   std::vector<std::string> columns_;
   std::unordered_map<Tuple, int64_t, TupleHash> rows_;
+  // unique_ptr for pointer stability across container growth.
+  std::vector<std::unique_ptr<JoinIndex>> indexes_;
 };
 
 // Natural join on all shared column names; multiplicities multiply
 // (counting algorithm). `work` is incremented per probed pair, giving the
 // measured-cost counter the cost model's CPU term mirrors.
 Relation NaturalJoin(const Relation& a, const Relation& b, uint64_t* work);
+
+// Same join, probing `b_index` — a persistent index on `b` whose key must
+// equal the shared columns of (a, b) in b-schema order (see
+// SharedJoinColumns). Skips the per-call hash build; output and `work`
+// accounting are identical to the index-free overload.
+Relation NaturalJoin(const Relation& a, const Relation& b,
+                     const Relation::JoinIndex& b_index, uint64_t* work);
+
+// The columns NaturalJoin(a-with-schema `a_columns`, b) would join on:
+// b's column names also present in `a_columns`, in b-schema order. This is
+// the key to build b's persistent index on.
+std::vector<std::string> SharedJoinColumns(
+    const std::vector<std::string>& a_columns, const Relation& b);
 
 }  // namespace dsm
 

@@ -162,31 +162,37 @@ Status MarketSimulation::Run(int ticks, double scale,
   for (int tick = 0; tick < ticks; ++tick) {
     DSM_RETURN_IF_ERROR(ProcessServerEvents());
     // Per-table batch sizes derive from the catalog's update rates: the
-    // same statistics the planners' cost model consumed.
+    // same statistics the planners' cost model consumed. The whole tick is
+    // generated first, then applied through the engine's batched path so
+    // every view is refreshed once per table per tick.
+    std::vector<TableUpdate> tick_updates;
     for (TableId t = 0; t < catalog_->num_tables(); ++t) {
       if (engine_.base(t) == nullptr) continue;
       const double rate = catalog_->table(t).stats.update_rate;
       const int batch =
           std::max(0, static_cast<int>(std::llround(rate * scale)));
       if (batch == 0) continue;
-      std::vector<Tuple> inserts;
-      std::vector<Tuple> deletes;
+      TableUpdate update;
+      update.table = t;
       std::vector<Tuple>& live = live_tuples_[t];
       for (int i = 0; i < batch; ++i) {
         if (!live.empty() && rng_.Bernoulli(delete_fraction)) {
           const size_t idx = static_cast<size_t>(rng_.UniformInt(
               0, static_cast<int64_t>(live.size()) - 1));
-          deletes.push_back(live[idx]);
+          update.deletes.push_back(live[idx]);
           live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
         } else {
           Tuple tuple = RandomTupleCompressed(*catalog_, t, &rng_,
                                               domain_compression_);
           live.push_back(tuple);
-          inserts.push_back(std::move(tuple));
+          update.inserts.push_back(std::move(tuple));
         }
       }
-      updates_applied_ += inserts.size() + deletes.size();
-      DSM_RETURN_IF_ERROR(engine_.ApplyUpdate(t, inserts, deletes));
+      updates_applied_ += update.inserts.size() + update.deletes.size();
+      tick_updates.push_back(std::move(update));
+    }
+    if (!tick_updates.empty()) {
+      DSM_RETURN_IF_ERROR(engine_.ApplyUpdates(tick_updates));
     }
     ++ticks_elapsed_;
     DSM_METRIC_COUNTER_ADD("dsm.market.ticks", 1);

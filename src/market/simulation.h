@@ -55,10 +55,13 @@ class MarketSimulation {
   // `domain_compression` < 1 shrinks every column's value domain by that
   // factor when generating tuples, raising join hit rates — useful for
   // demos that stream far fewer tuples than the catalog's cardinalities.
+  // `engine_options` controls the maintenance engine's fan-out pool and
+  // operand caching; the default honors DSM_THREADS.
   MarketSimulation(const Catalog* catalog, uint64_t seed,
-                   double domain_compression = 1.0)
+                   double domain_compression = 1.0,
+                   DeltaEngineOptions engine_options = {})
       : catalog_(catalog),
-        engine_(catalog),
+        engine_(catalog, engine_options),
         rng_(seed),
         seed_(seed),
         domain_compression_(domain_compression) {}

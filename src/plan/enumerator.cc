@@ -1,9 +1,10 @@
 #include "plan/enumerator.h"
 
 #include <algorithm>
-#include <bit>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -11,23 +12,52 @@
 namespace dsm {
 namespace {
 
-// A partial plan over one connected subset of the sharing's tables.
+// A partial plan over one connected subset of the sharing's tables, stored
+// as an immutable tree node. Combining two fragments is O(1): the children
+// are shared (never copied), and the flat node array the rest of the system
+// consumes is materialized once per *emitted* plan instead of once per
+// DP candidate.
+struct Fragment;
+using FragmentPtr = std::shared_ptr<const Fragment>;
+
 struct Fragment {
-  SharingPlan plan;  // root is plan.nodes.back()
+  PlanNode node;  // left/right indices unset; children live in the pointers
+  FragmentPtr left;
+  FragmentPtr right;
+  size_t size = 1;    // nodes in this subtree (for reserve at emit time)
   double cost = 0.0;  // standalone cost, used only for beam pruning
+  uint64_t sig = 0;   // structural signature, used for DP-slot dedup
 };
 
-// Appends `src`'s nodes to `dst`, remapping child indices; returns the
-// index of `src`'s root within `dst`.
-int AppendFragment(const SharingPlan& src, SharingPlan* dst) {
-  const int offset = static_cast<int>(dst->nodes.size());
-  for (const PlanNode& n : src.nodes) {
-    PlanNode copy = n;
-    if (copy.left >= 0) copy.left += offset;
-    if (copy.right >= 0) copy.right += offset;
-    dst->nodes.push_back(copy);
-  }
-  return static_cast<int>(dst->nodes.size()) - 1;
+// Structural content hash of the tree rooted at (node, left, right). Same
+// mixing as SharingPlan::Signature, with child signatures standing in for
+// child indices: structurally identical trees collide, distinct trees do
+// not (modulo hash collisions), which is exactly what the per-slot dedup
+// needs without materializing the node array.
+uint64_t FragmentSignature(const PlanNode& node, const FragmentPtr& left,
+                           const FragmentPtr& right) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<uint64_t>(node.type));
+  mix(ViewKeyHash()(node.key));
+  mix(node.server);
+  mix(left == nullptr ? 0 : left->sig);
+  mix(right == nullptr ? 0 : right->sig);
+  return h;
+}
+
+// Flattens the fragment tree into `out` in post-order (left subtree, right
+// subtree, root) — the same node ordering the old copy-per-candidate
+// construction produced, so plan signatures are unchanged. Returns the
+// root's index.
+int MaterializeInto(const Fragment& frag, SharingPlan* out) {
+  PlanNode node = frag.node;
+  if (frag.left != nullptr) node.left = MaterializeInto(*frag.left, out);
+  if (frag.right != nullptr) node.right = MaterializeInto(*frag.right, out);
+  out->nodes.push_back(node);
+  return static_cast<int>(out->nodes.size()) - 1;
 }
 
 }  // namespace
@@ -39,7 +69,140 @@ PlanEnumerator::PlanEnumerator(const Catalog* catalog, const Cluster* cluster,
       cluster_(cluster),
       graph_(graph),
       model_(model),
-      options_(options) {}
+      options_(options) {
+  // Cost models may be stateful (TableDrivenCostModel memoizes lazily from
+  // an Rng), so cost queries must keep their serial order; only model-free
+  // enumeration fans out.
+  if (model_ == nullptr) {
+    ThreadPoolOptions pool_options;
+    pool_options.num_threads = options_.num_threads;
+    if (ResolveThreadCount(pool_options) > 1) {
+      pool_ = std::make_unique<ThreadPool>(pool_options);
+    }
+  }
+}
+
+Result<std::vector<SharingPlan>> PlanEnumerator::EnumerateChoice(
+    const Sharing& sharing, const std::vector<TableSet>& subsets,
+    uint64_t pushdown) const {
+  const std::vector<Predicate>& all_preds = sharing.predicates();
+  std::vector<Predicate> pushed;
+  for (size_t i = 0; i < all_preds.size(); ++i) {
+    if ((pushdown >> i) & 1ull) pushed.push_back(all_preds[i]);
+  }
+
+  const TableSet tables = sharing.tables();
+  // DP table: connected subset -> fragments.
+  std::unordered_map<uint64_t, std::vector<FragmentPtr>> dp;
+
+  // Singletons.
+  for (TableId t : tables.ToVector()) {
+    DSM_ASSIGN_OR_RETURN(const ServerId home, cluster_->HomeOf(t));
+    auto frag = std::make_shared<Fragment>();
+    frag->node.type = PlanNodeType::kLeaf;
+    frag->node.base_table = t;
+    frag->node.server = home;
+    frag->node.key = ViewKey(TableSet::Of(t),
+                             PredicatesOnTables(pushed, TableSet::Of(t)));
+    frag->sig = FragmentSignature(frag->node, nullptr, nullptr);
+    if (model_ != nullptr) {
+      frag->cost = model_->LeafCost(t, frag->node.key, home);
+    }
+    dp[TableSet::Of(t).mask()].push_back(std::move(frag));
+  }
+
+  for (const TableSet subset : subsets) {
+    std::vector<FragmentPtr>& slot = dp[subset.mask()];
+    std::unordered_set<uint64_t> local_seen;
+    const uint64_t mask = subset.mask();
+    const uint64_t lowest = mask & (~mask + 1);
+    // Enumerate proper submasks that contain the lowest table, so each
+    // unordered split {C1, C2} is visited exactly once.
+    for (uint64_t sub = (mask - 1) & mask; sub != 0;
+         sub = (sub - 1) & mask) {
+      if ((sub & lowest) == 0) continue;
+      const uint64_t other = mask ^ sub;
+      const auto it1 = dp.find(sub);
+      const auto it2 = dp.find(other);
+      if (it1 == dp.end() || it2 == dp.end()) continue;  // not connected
+      if (!graph_->Joinable(TableSet(sub), TableSet(other))) continue;
+      const ViewKey node_key(subset, PredicatesOnTables(pushed, subset));
+      for (const FragmentPtr& f1 : it1->second) {
+        for (const FragmentPtr& f2 : it2->second) {
+          ServerId candidates[3];
+          size_t num_candidates = 0;
+          auto add_candidate = [&](ServerId s) {
+            for (size_t i = 0; i < num_candidates; ++i) {
+              if (candidates[i] == s) return;
+            }
+            candidates[num_candidates++] = s;
+          };
+          add_candidate(f1->node.server);
+          add_candidate(f2->node.server);
+          if (options_.consider_destination_server) {
+            add_candidate(sharing.destination());
+          }
+          for (size_t ci = 0; ci < num_candidates; ++ci) {
+            PlanNode join;
+            join.type = PlanNodeType::kJoin;
+            join.key = node_key;
+            join.server = candidates[ci];
+            const uint64_t sig = FragmentSignature(join, f1, f2);
+            if (!local_seen.insert(sig).second) continue;
+            auto combined = std::make_shared<Fragment>();
+            combined->node = join;
+            combined->left = f1;
+            combined->right = f2;
+            combined->size = f1->size + f2->size + 1;
+            combined->sig = sig;
+            if (model_ != nullptr) {
+              combined->cost =
+                  f1->cost + f2->cost +
+                  model_->JoinCost(join.key, join.server, f1->node.key,
+                                   f1->node.server, f2->node.key,
+                                   f2->node.server);
+            }
+            slot.push_back(std::move(combined));
+          }
+        }
+      }
+    }
+    // Beam pruning: keep the cheapest fragments only.
+    if (options_.per_subset_cap > 0 && slot.size() > options_.per_subset_cap) {
+      DSM_METRIC_COUNTER_ADD("dsm.plan.fragments_pruned",
+                             slot.size() - options_.per_subset_cap);
+      std::nth_element(slot.begin(),
+                       slot.begin() + static_cast<std::ptrdiff_t>(
+                                          options_.per_subset_cap),
+                       slot.end(),
+                       [](const FragmentPtr& a, const FragmentPtr& b) {
+                         return a->cost < b->cost;
+                       });
+      slot.resize(options_.per_subset_cap);
+    }
+  }
+
+  // Finalize: deliver the full result (all predicates applied) at the
+  // destination server.
+  const ViewKey result_key = sharing.ResultKey();
+  std::vector<SharingPlan> out;
+  for (const FragmentPtr& frag : dp[tables.mask()]) {
+    SharingPlan plan;
+    plan.nodes.reserve(frag->size + 1);
+    MaterializeInto(*frag, &plan);
+    const PlanNode& root = plan.nodes.back();
+    if (!(root.key == result_key) || root.server != sharing.destination()) {
+      PlanNode fin;
+      fin.type = PlanNodeType::kFilterCopy;
+      fin.key = result_key;
+      fin.server = sharing.destination();
+      fin.left = plan.root_index();
+      plan.nodes.push_back(fin);
+    }
+    out.push_back(std::move(plan));
+  }
+  return out;
+}
 
 Result<std::vector<SharingPlan>> PlanEnumerator::Enumerate(
     const Sharing& sharing) const {
@@ -63,146 +226,59 @@ Result<std::vector<SharingPlan>> PlanEnumerator::Enumerate(
   // Choices of which predicates are pushed down to the leaves; the rest are
   // applied at the root. With many predicates the exhaustive 2^p blowup is
   // avoided by considering only all-at-root and all-pushed-down.
-  std::vector<uint32_t> pushdown_choices;
+  const size_t num_preds = all_preds.size();
+  const uint64_t full_mask =
+      num_preds >= 64 ? ~0ull : (1ull << num_preds) - 1ull;
+  std::vector<uint64_t> pushdown_choices;
   if (!options_.predicate_placement || all_preds.empty()) {
-    pushdown_choices.push_back(options_.predicate_placement
-                                   ? (1u << all_preds.size()) - 1u
-                                   : 0u);
-  } else if (all_preds.size() <= 12) {
-    for (uint32_t d = 0; d < (1u << all_preds.size()); ++d) {
+    pushdown_choices.push_back(options_.predicate_placement ? full_mask
+                                                            : 0ull);
+  } else if (num_preds <= 12) {
+    for (uint64_t d = 0; d <= full_mask; ++d) {
       pushdown_choices.push_back(d);
     }
   } else {
-    pushdown_choices = {0u, (1u << 12) - 1u};
+    pushdown_choices = {0ull, full_mask};
   }
 
-  const ViewKey result_key = sharing.ResultKey();
+  // Connected subsets in increasing size, shared by every pushdown choice
+  // (predicates never change connectivity).
+  std::vector<TableSet> subsets = graph_->ConnectedSubsets(tables, 2);
+  std::sort(subsets.begin(), subsets.end(),
+            [](TableSet a, TableSet b) { return a.size() < b.size(); });
+
   std::vector<SharingPlan> out;
   std::unordered_set<uint64_t> seen;
-
-  for (const uint32_t pushdown : pushdown_choices) {
-    std::vector<Predicate> pushed;
-    for (size_t i = 0; i < all_preds.size(); ++i) {
-      if ((pushdown >> i) & 1u) pushed.push_back(all_preds[i]);
-    }
-
-    // DP table: connected subset -> fragments.
-    std::unordered_map<uint64_t, std::vector<Fragment>> dp;
-
-    // Singletons.
-    for (TableId t : tables.ToVector()) {
-      DSM_ASSIGN_OR_RETURN(const ServerId home, cluster_->HomeOf(t));
-      Fragment frag;
-      PlanNode leaf;
-      leaf.type = PlanNodeType::kLeaf;
-      leaf.base_table = t;
-      leaf.server = home;
-      leaf.key = ViewKey(TableSet::Of(t),
-                         PredicatesOnTables(pushed, TableSet::Of(t)));
-      frag.plan.nodes.push_back(leaf);
-      if (model_ != nullptr) {
-        frag.cost = PlanNodeCost(frag.plan, 0, model_);
-      }
-      dp[TableSet::Of(t).mask()].push_back(std::move(frag));
-    }
-
-    // Connected subsets in increasing size.
-    std::vector<TableSet> subsets = graph_->ConnectedSubsets(tables, 2);
-    std::sort(subsets.begin(), subsets.end(),
-              [](TableSet a, TableSet b) { return a.size() < b.size(); });
-
-    for (const TableSet subset : subsets) {
-      std::vector<Fragment>& slot = dp[subset.mask()];
-      std::unordered_set<uint64_t> local_seen;
-      const uint64_t mask = subset.mask();
-      const uint64_t lowest = mask & (~mask + 1);
-      // Enumerate proper submasks that contain the lowest table, so each
-      // unordered split {C1, C2} is visited exactly once.
-      for (uint64_t sub = (mask - 1) & mask; sub != 0;
-           sub = (sub - 1) & mask) {
-        if ((sub & lowest) == 0) continue;
-        const uint64_t other = mask ^ sub;
-        const auto it1 = dp.find(sub);
-        const auto it2 = dp.find(other);
-        if (it1 == dp.end() || it2 == dp.end()) continue;  // not connected
-        if (!graph_->Joinable(TableSet(sub), TableSet(other))) continue;
-        const ViewKey node_key(subset, PredicatesOnTables(pushed, subset));
-        for (const Fragment& f1 : it1->second) {
-          for (const Fragment& f2 : it2->second) {
-            ServerId candidates[3];
-            size_t num_candidates = 0;
-            auto add_candidate = [&](ServerId s) {
-              for (size_t i = 0; i < num_candidates; ++i) {
-                if (candidates[i] == s) return;
-              }
-              candidates[num_candidates++] = s;
-            };
-            add_candidate(f1.plan.root().server);
-            add_candidate(f2.plan.root().server);
-            if (options_.consider_destination_server) {
-              add_candidate(sharing.destination());
-            }
-            for (size_t ci = 0; ci < num_candidates; ++ci) {
-              Fragment combined;
-              const int left_root = AppendFragment(f1.plan, &combined.plan);
-              const int right_root = AppendFragment(f2.plan, &combined.plan);
-              PlanNode join;
-              join.type = PlanNodeType::kJoin;
-              join.key = node_key;
-              join.server = candidates[ci];
-              join.left = left_root;
-              join.right = right_root;
-              combined.plan.nodes.push_back(join);
-              const uint64_t sig = combined.plan.Signature();
-              if (!local_seen.insert(sig).second) continue;
-              if (model_ != nullptr) {
-                combined.cost =
-                    f1.cost + f2.cost +
-                    PlanNodeCost(combined.plan, combined.plan.nodes.size() - 1,
-                                 model_);
-              }
-              slot.push_back(std::move(combined));
-            }
-          }
-        }
-      }
-      // Beam pruning: keep the cheapest fragments only.
-      if (options_.per_subset_cap > 0 &&
-          slot.size() > options_.per_subset_cap) {
-        DSM_METRIC_COUNTER_ADD("dsm.plan.fragments_pruned",
-                               slot.size() - options_.per_subset_cap);
-        std::nth_element(slot.begin(),
-                         slot.begin() + static_cast<std::ptrdiff_t>(
-                                            options_.per_subset_cap),
-                         slot.end(),
-                         [](const Fragment& a, const Fragment& b) {
-                           return a.cost < b.cost;
-                         });
-        slot.resize(options_.per_subset_cap);
-      }
-    }
-
-    // Finalize: deliver the full result (all predicates applied) at the
-    // destination server.
-    for (Fragment& frag : dp[tables.mask()]) {
-      SharingPlan plan = std::move(frag.plan);
-      const PlanNode& root = plan.nodes.back();
-      if (!(root.key == result_key) ||
-          root.server != sharing.destination()) {
-        PlanNode fin;
-        fin.type = PlanNodeType::kFilterCopy;
-        fin.key = result_key;
-        fin.server = sharing.destination();
-        fin.left = plan.root_index();
-        plan.nodes.push_back(fin);
-      }
-      const uint64_t sig = plan.Signature();
-      if (!seen.insert(sig).second) continue;
+  // Merges one choice's plans, preserving the serial enumeration's global
+  // dedup order and max_plans cutoff. Returns true when the cap is hit.
+  auto merge = [&](std::vector<SharingPlan>&& plans) {
+    for (SharingPlan& plan : plans) {
+      if (!seen.insert(plan.Signature()).second) continue;
       out.push_back(std::move(plan));
-      if (out.size() >= options_.max_plans) {
-        DSM_METRIC_COUNTER_ADD("dsm.plan.plans_emitted", out.size());
-        return out;
-      }
+      if (out.size() >= options_.max_plans) return true;
+    }
+    return false;
+  };
+
+  if (pool_ != nullptr && pushdown_choices.size() > 1) {
+    // Choices are independent when no cost model is attached (the only
+    // configuration with a pool, see the constructor): fan out, then merge
+    // in choice order so the output matches the serial enumeration.
+    std::vector<std::optional<Result<std::vector<SharingPlan>>>> per_choice(
+        pushdown_choices.size());
+    pool_->ParallelFor(pushdown_choices.size(), [&](size_t i) {
+      per_choice[i].emplace(
+          EnumerateChoice(sharing, subsets, pushdown_choices[i]));
+    });
+    for (auto& result : per_choice) {
+      if (!result->ok()) return result->status();
+      if (merge(std::move(*result).value())) break;
+    }
+  } else {
+    for (const uint64_t pushdown : pushdown_choices) {
+      DSM_ASSIGN_OR_RETURN(std::vector<SharingPlan> plans,
+                           EnumerateChoice(sharing, subsets, pushdown));
+      if (merge(std::move(plans))) break;
     }
   }
   DSM_METRIC_COUNTER_ADD("dsm.plan.plans_emitted", out.size());

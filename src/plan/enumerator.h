@@ -7,16 +7,26 @@
 // per join, and every leaf-vs-root placement of each predicate. For large
 // sharings a beam (`per_subset_cap`) bounds the space, matching the
 // paper's "heuristics can be applied to filter sharing plans" escape hatch.
+//
+// Internally sub-plans are immutable fragments shared by every plan built
+// on top of them (combining two fragments is O(1)); node arrays are
+// materialized once per emitted plan. Independent predicate-pushdown
+// choices fan out across a thread pool (`num_threads`, honoring
+// DSM_THREADS) with results merged in choice order, so output is
+// identical to the serial enumeration.
 
 #ifndef DSM_PLAN_ENUMERATOR_H_
 #define DSM_PLAN_ENUMERATOR_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "cluster/cluster.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "cost/cost_model.h"
 #include "plan/join_graph.h"
 #include "plan/plan.h"
@@ -36,6 +46,11 @@ struct EnumeratorOptions {
   // Also consider materializing each join at the sharing's destination
   // server (in addition to the children's servers).
   bool consider_destination_server = true;
+  // Threads for fanning out across predicate-pushdown choices; 0 = auto
+  // (DSM_THREADS, else hardware). Only model-free enumeration fans out:
+  // cost models may be stateful (lazy memoization), so their query order
+  // must stay serial and deterministic.
+  int num_threads = 0;
 };
 
 class PlanEnumerator {
@@ -52,11 +67,16 @@ class PlanEnumerator {
   const EnumeratorOptions& options() const { return options_; }
 
  private:
+  Result<std::vector<SharingPlan>> EnumerateChoice(
+      const Sharing& sharing, const std::vector<TableSet>& subsets,
+      uint64_t pushdown) const;
+
   const Catalog* catalog_;
   const Cluster* cluster_;
   const JoinGraph* graph_;
   CostModel* model_;
   EnumeratorOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when enumeration is serial
 };
 
 }  // namespace dsm

@@ -1,0 +1,218 @@
+// Randomized equivalence suite for the parallel, cache-reusing maintenance
+// engine: for random view populations and random insert/delete streams, the
+// batched parallel path must leave every view bag-equal to a from-scratch
+// recomputation, and results plus measured join work must be identical for
+// every pool size and with the operand cache on or off.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "maintain/delta_engine.h"
+
+namespace dsm {
+namespace {
+
+Tuple T(std::initializer_list<int64_t> values) {
+  Tuple t;
+  for (const int64_t v : values) t.emplace_back(v);
+  return t;
+}
+
+// A chain schema: consecutive tables share one column, so any contiguous
+// table range forms a connected join.
+constexpr int kNumTables = 4;
+
+Catalog MakeChainCatalog() {
+  Catalog catalog;
+  for (int i = 0; i < kNumTables; ++i) {
+    TableDef def;
+    def.name = "T" + std::to_string(i);
+    for (const int c : {i, i + 1}) {
+      ColumnDef col;
+      col.name = "c" + std::to_string(c);
+      col.distinct_values = 8;
+      col.min_value = 0;
+      col.max_value = 8;
+      def.columns.push_back(col);
+    }
+    *catalog.AddTable(def);
+  }
+  return catalog;
+}
+
+struct Scenario {
+  std::vector<ViewKey> views;
+  // Outer: rounds handed to one ApplyUpdates call. A round may contain
+  // several entries for the same table (exercises coalescing).
+  std::vector<std::vector<TableUpdate>> rounds;
+};
+
+Scenario MakeScenario(uint64_t seed) {
+  Rng rng(seed);
+  Scenario scenario;
+
+  const int num_views = 2 + static_cast<int>(rng.UniformInt(0, 4));
+  for (int v = 0; v < num_views; ++v) {
+    const int lo = static_cast<int>(rng.UniformInt(0, kNumTables - 2));
+    const int hi =
+        lo + 1 +
+        static_cast<int>(rng.UniformInt(0, kNumTables - lo - 2));
+    TableSet tables;
+    for (int t = lo; t <= hi; ++t) tables.Add(static_cast<TableId>(t));
+    std::vector<Predicate> preds;
+    while (rng.Bernoulli(0.5) && preds.size() < 2) {
+      Predicate p;
+      p.table = static_cast<TableId>(
+          rng.UniformInt(lo, hi));
+      p.column = static_cast<uint16_t>(rng.UniformInt(0, 1));
+      p.op = rng.Bernoulli(0.5) ? CompareOp::kLt : CompareOp::kGt;
+      p.value = static_cast<double>(rng.UniformInt(1, 6));
+      preds.push_back(p);
+    }
+    scenario.views.emplace_back(tables, preds);
+  }
+
+  std::vector<std::vector<Tuple>> live(kNumTables);
+  const int num_rounds = 10;
+  for (int round = 0; round < num_rounds; ++round) {
+    std::vector<TableUpdate> updates;
+    for (int t = 0; t < kNumTables; ++t) {
+      if (!rng.Bernoulli(0.8)) continue;
+      // Occasionally split one table's round into two batch entries.
+      const int entries = rng.Bernoulli(0.25) ? 2 : 1;
+      for (int e = 0; e < entries; ++e) {
+        TableUpdate update;
+        update.table = static_cast<TableId>(t);
+        const int ops = 1 + static_cast<int>(rng.UniformInt(0, 4));
+        for (int i = 0; i < ops; ++i) {
+          if (!live[static_cast<size_t>(t)].empty() && rng.Bernoulli(0.3)) {
+            auto& pool = live[static_cast<size_t>(t)];
+            const size_t idx = static_cast<size_t>(
+                rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1));
+            update.deletes.push_back(pool[idx]);
+            pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+          } else {
+            const Tuple tuple =
+                T({rng.UniformInt(0, 7), rng.UniformInt(0, 7)});
+            live[static_cast<size_t>(t)].push_back(tuple);
+            update.inserts.push_back(tuple);
+          }
+        }
+        updates.push_back(std::move(update));
+      }
+    }
+    if (!updates.empty()) scenario.rounds.push_back(std::move(updates));
+  }
+  return scenario;
+}
+
+struct RunOutcome {
+  std::vector<Relation> views;
+  uint64_t work = 0;
+  size_t cached_operands = 0;
+};
+
+RunOutcome Replay(const Catalog& catalog, const Scenario& scenario,
+                  int pool_threads, bool operand_cache) {
+  DeltaEngineOptions options;
+  options.pool.num_threads = pool_threads;
+  options.operand_cache = operand_cache;
+  DeltaEngine engine(&catalog, options);
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    EXPECT_TRUE(engine.RegisterBase(t).ok());
+  }
+  std::vector<ViewId> ids;
+  for (const ViewKey& key : scenario.views) {
+    const auto id = engine.RegisterView(key);
+    EXPECT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (const std::vector<TableUpdate>& round : scenario.rounds) {
+    EXPECT_TRUE(engine.ApplyUpdates(round).ok());
+  }
+  RunOutcome outcome;
+  outcome.work = engine.work();
+  outcome.cached_operands = engine.num_cached_operands();
+  for (const ViewId id : ids) {
+    // Every incrementally maintained view matches the from-scratch oracle.
+    const auto expected = engine.Recompute(engine.view_key(id));
+    EXPECT_TRUE(expected.ok());
+    EXPECT_TRUE(engine.view(id)->BagEquals(*expected))
+        << "view " << id << " diverged (threads=" << pool_threads
+        << ", cache=" << operand_cache << ")";
+    outcome.views.push_back(*engine.view(id));
+  }
+  return outcome;
+}
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelEquivalenceTest, PoolSizesAndCacheModesAgree) {
+  const Catalog catalog = MakeChainCatalog();
+  const Scenario scenario = MakeScenario(GetParam());
+  ASSERT_FALSE(scenario.rounds.empty());
+
+  const RunOutcome reference =
+      Replay(catalog, scenario, /*pool_threads=*/1, /*operand_cache=*/true);
+  EXPECT_GT(reference.cached_operands, 0u);
+
+  for (const int threads : {2, 8}) {
+    for (const bool cache : {true, false}) {
+      const RunOutcome outcome = Replay(catalog, scenario, threads, cache);
+      ASSERT_EQ(outcome.views.size(), reference.views.size());
+      for (size_t v = 0; v < outcome.views.size(); ++v) {
+        EXPECT_TRUE(outcome.views[v].BagEquals(reference.views[v]))
+            << "view " << v << " differs from serial reference (threads="
+            << threads << ", cache=" << cache << ")";
+      }
+      // Join work is content-determined: caching changes where operands
+      // come from and threading changes who probes, never which tuple
+      // pairs meet.
+      EXPECT_EQ(outcome.work, reference.work)
+          << "threads=" << threads << ", cache=" << cache;
+      if (!cache) {
+        EXPECT_EQ(outcome.cached_operands, 0u);
+      }
+    }
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, BatchedMatchesSequentialApplyUpdate) {
+  const Catalog catalog = MakeChainCatalog();
+  const Scenario scenario = MakeScenario(GetParam());
+
+  const RunOutcome batched =
+      Replay(catalog, scenario, /*pool_threads=*/8, /*operand_cache=*/true);
+
+  DeltaEngineOptions options;
+  options.pool.num_threads = 1;
+  DeltaEngine sequential(&catalog, options);
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    ASSERT_TRUE(sequential.RegisterBase(t).ok());
+  }
+  std::vector<ViewId> ids;
+  for (const ViewKey& key : scenario.views) {
+    ids.push_back(*sequential.RegisterView(key));
+  }
+  for (const std::vector<TableUpdate>& round : scenario.rounds) {
+    for (const TableUpdate& update : round) {
+      ASSERT_TRUE(
+          sequential.ApplyUpdate(update.table, update.inserts, update.deletes)
+              .ok());
+    }
+  }
+  ASSERT_EQ(ids.size(), batched.views.size());
+  for (size_t v = 0; v < ids.size(); ++v) {
+    EXPECT_TRUE(sequential.view(ids[v])->BagEquals(batched.views[v]))
+        << "view " << v << ": batched and per-update paths diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEquivalenceTest,
+                         ::testing::Values(1, 7, 42, 99, 1234, 8675309));
+
+}  // namespace
+}  // namespace dsm

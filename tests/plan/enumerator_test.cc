@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "cost/table_cost_model.h"
 
 namespace dsm {
@@ -175,6 +178,63 @@ TEST_F(EnumeratorTest, EmptySharingRejected) {
   const PlanEnumerator e = MakeEnumerator();
   EXPECT_EQ(e.Enumerate(Sharing(TableSet(), {}, 0)).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST_F(EnumeratorTest, ManyPredicatesKeepFullPushdownMask) {
+  // With > 12 predicates the enumerator falls back to the two extreme
+  // placements. The all-pushed-down choice must cover *every* predicate —
+  // a narrow mask would silently leave predicates 13+ at the root.
+  std::vector<Predicate> preds;
+  for (int i = 0; i < 14; ++i) {
+    Predicate p;
+    p.table = a_;
+    p.column = 0;
+    p.op = CompareOp::kLt;
+    p.value = 99 - i;
+    preds.push_back(p);
+  }
+  const PlanEnumerator e = MakeEnumerator();
+  const auto plans = e.Enumerate(Sharing(TS({a_, b_}), preds, 0));
+  ASSERT_TRUE(plans.ok());
+  size_t max_leaf_preds = 0;
+  for (const SharingPlan& plan : *plans) {
+    for (const PlanNode& n : plan.nodes) {
+      if (n.type == PlanNodeType::kLeaf && n.base_table == a_) {
+        max_leaf_preds = std::max(max_leaf_preds, n.key.predicates.size());
+      }
+    }
+  }
+  EXPECT_EQ(max_leaf_preds, preds.size());
+}
+
+TEST_F(EnumeratorTest, ParallelEnumerationMatchesSerial) {
+  // Three predicates -> 8 pushdown choices to fan out across. Model-free
+  // enumeration (the only parallel configuration) must emit exactly the
+  // serial plan list, in the same order.
+  std::vector<Predicate> preds;
+  for (int i = 0; i < 3; ++i) {
+    Predicate p;
+    p.table = i == 2 ? b_ : a_;
+    p.column = 0;
+    p.op = i == 1 ? CompareOp::kGt : CompareOp::kLt;
+    p.value = 10 + 30 * i;
+    preds.push_back(p);
+  }
+  const Sharing sharing(TS({a_, b_, c_}), preds, 0);
+  auto run = [&](int threads) {
+    EnumeratorOptions options;
+    options.num_threads = threads;
+    PlanEnumerator e(&catalog_, &cluster_, graph_.get(), nullptr, options);
+    const auto plans = e.Enumerate(sharing);
+    EXPECT_TRUE(plans.ok());
+    std::vector<uint64_t> sigs;
+    for (const SharingPlan& plan : *plans) sigs.push_back(plan.Signature());
+    return sigs;
+  };
+  const std::vector<uint64_t> serial = run(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(run(8), serial);
+  EXPECT_EQ(run(2), serial);
 }
 
 TEST(EnumeratorMultiServerTest, ServerPlacementsEnumerated) {
