@@ -1,0 +1,284 @@
+// Admission & costing fast paths: per-sharing planning time with the
+// indexed reuse lookup (vs the legacy linear scan) as the global plan
+// grows to a thousand-plus alive views, and FAIRCOST refresh time with the
+// incremental containment DAG (vs the scratch O(n²) rebuild) as the
+// sharing population grows. Decisions and attributed costs are identical
+// across modes (enforced by the admission equivalence tests); only the
+// wall clock differs.
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_report.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "costing/costing_session.h"
+#include "costing/lpc.h"
+#include "costing/savings.h"
+#include "workload/predicate_gen.h"
+#include "workload/twitter.h"
+
+namespace dsm {
+namespace bench {
+namespace {
+
+// The dense-reuse market regime: every arrival is a predicated variant of
+// one of the 25 base queries, with predicates drawn as random subsets of a
+// small per-query pool. Keys recur across arrivals and predicate sets are
+// subset-related, so each table-mask bucket accumulates hundreds of alive
+// views, many of which genuinely subsume an incoming probe — the workload
+// the reuse index exists for (the sparse-key regime is fig6 section (g)).
+std::vector<Sharing> AdmissionSequence(const TwitterStack& stack, size_t n,
+                                       uint64_t seed) {
+  const std::vector<Sharing> base =
+      TwitterBaseSharings(stack.tables, stack.cluster);
+  Rng rng(seed);
+  std::vector<std::vector<Predicate>> pools;
+  pools.reserve(base.size());
+  for (const Sharing& b : base) {
+    pools.push_back(
+        RandomPredicates(stack.catalog, b.tables(), /*count=*/5, &rng));
+  }
+  const auto num_servers =
+      static_cast<int64_t>(stack.cluster.num_servers());
+  std::vector<Sharing> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto which =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(
+                                                  base.size() - 1)));
+    std::vector<Predicate> preds;
+    for (const Predicate& p : pools[which]) {
+      if (rng.Bernoulli(0.4)) preds.push_back(p);
+    }
+    const auto dest =
+        static_cast<ServerId>(rng.UniformInt(0, num_servers - 1));
+    out.emplace_back(base[which].tables(), std::move(preds), dest);
+  }
+  return out;
+}
+
+// Evaluates every candidate plan (serially or on `pool`), commits the
+// cheapest feasible one — the admission hot path with enumeration
+// excluded, which fig6 reports separately.
+bool PlanAndCommit(GlobalPlan* gp, const Sharing& sharing,
+                   const std::vector<SharingPlan>& plans, SharingId id,
+                   ThreadPool* pool) {
+  std::vector<GlobalPlan::PlanEvaluation> evals(plans.size());
+  if (pool != nullptr) {
+    pool->ParallelFor(plans.size(), [&](size_t i) {
+      evals[i] = gp->EvaluatePlan(plans[i]);
+    });
+  } else {
+    for (size_t i = 0; i < plans.size(); ++i) {
+      evals[i] = gp->EvaluatePlan(plans[i]);
+    }
+  }
+  int best = -1;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (!evals[i].feasible) continue;
+    if (best < 0 ||
+        evals[i].marginal_cost < evals[static_cast<size_t>(best)]
+                                     .marginal_cost) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return false;
+  return gp->AddSharing(id, sharing, plans[static_cast<size_t>(best)]).ok();
+}
+
+struct ModeResult {
+  size_t alive_views = 0;
+  LatencySummary latency;
+};
+
+// Grows a fresh global plan until `target_views` alive views, then times
+// the admission of `probes` further sharings (enumeration pre-done).
+ModeResult RunAdmissionMode(size_t target_views, size_t probes,
+                            bool indexed, ThreadPool* pool, uint64_t seed) {
+  EnumeratorOptions enum_options;
+  enum_options.per_subset_cap = 16;  // bound the 8/9-table plan explosion
+  auto stack = MakeTwitterStack(6, enum_options);
+  stack->global_plan->set_reuse_index_enabled(indexed);
+  // Dense reuse means most arrivals add at most a residual view, so the
+  // sequence is oversized relative to the target view count.
+  const auto sequence =
+      AdmissionSequence(*stack, 2 * target_views + 4 * probes, seed);
+
+  SharingId next_id = 1;
+  size_t pos = 0;
+  while (pos < sequence.size() &&
+         stack->global_plan->num_alive_views() < target_views) {
+    const auto plans = stack->enumerator->Enumerate(sequence[pos]);
+    if (plans.ok()) {
+      PlanAndCommit(stack->global_plan.get(), sequence[pos], *plans,
+                    next_id++, nullptr);
+    }
+    ++pos;
+  }
+
+  ModeResult result;
+  result.alive_views = stack->global_plan->num_alive_views();
+  std::vector<double> samples;
+  for (size_t i = 0; i < probes && pos < sequence.size(); ++i, ++pos) {
+    const auto plans = stack->enumerator->Enumerate(sequence[pos]);
+    if (!plans.ok()) continue;
+    const Timer timer;
+    PlanAndCommit(stack->global_plan.get(), sequence[pos], *plans,
+                  next_id++, pool);
+    samples.push_back(timer.Millis());
+  }
+  result.latency = LatencySummary::FromSamples(std::move(samples));
+  return result;
+}
+
+struct RefreshResult {
+  size_t sharings = 0;
+  double scratch_mean_ms = 0.0;
+  double incremental_mean_ms = 0.0;
+};
+
+// Admits `population` sharings, then measures per-arrival FAIRCOST
+// refreshes with the scratch containment DAG vs the persistent index.
+// Both sessions share one memoized LPC calculator, and each arrival's LPC
+// is warmed before the timers so only the refresh machinery differs.
+RefreshResult RunRefreshMode(size_t population, size_t refreshes,
+                             uint64_t seed) {
+  EnumeratorOptions enum_options;
+  enum_options.per_subset_cap = 8;
+  auto stack = MakeTwitterStack(6, enum_options);
+  TwitterSequenceOptions options;
+  options.num_sharings = population + refreshes;
+  options.max_predicates = 2;
+  options.seed = seed;
+  const auto sequence = GenerateTwitterSequence(
+      stack->catalog, stack->tables, stack->cluster, options);
+
+  SharingId next_id = 1;
+  size_t pos = 0;
+  for (; pos < population && pos < sequence.size(); ++pos) {
+    const auto plans = stack->enumerator->Enumerate(sequence[pos]);
+    if (plans.ok()) {
+      PlanAndCommit(stack->global_plan.get(), sequence[pos], *plans,
+                    next_id++, nullptr);
+    }
+  }
+
+  LpcCalculator lpc(stack->enumerator.get(), stack->model.get());
+  CostingSession incremental(stack->global_plan.get(), &lpc);
+  CostingSession scratch(stack->global_plan.get(), &lpc);
+  scratch.set_incremental_dag_enabled(false);
+  // Warm-up: pays every LPC enumeration and builds the persistent index.
+  (void)incremental.Refresh();
+  (void)scratch.Refresh();
+
+  RefreshResult result;
+  std::vector<double> scratch_ms;
+  std::vector<double> inc_ms;
+  for (size_t i = 0; i < refreshes && pos < sequence.size(); ++i, ++pos) {
+    const auto plans = stack->enumerator->Enumerate(sequence[pos]);
+    if (!plans.ok()) continue;
+    if (!PlanAndCommit(stack->global_plan.get(), sequence[pos], *plans,
+                       next_id++, nullptr)) {
+      continue;
+    }
+    (void)lpc.Lpc(sequence[pos]);  // warm, so neither timer pays it
+    {
+      const Timer timer;
+      (void)scratch.Refresh();
+      scratch_ms.push_back(timer.Millis());
+    }
+    {
+      const Timer timer;
+      (void)incremental.Refresh();
+      inc_ms.push_back(timer.Millis());
+    }
+  }
+  result.sharings = stack->global_plan->num_sharings();
+  result.scratch_mean_ms =
+      LatencySummary::FromSamples(std::move(scratch_ms)).mean_ms;
+  result.incremental_mean_ms =
+      LatencySummary::FromSamples(std::move(inc_ms)).mean_ms;
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  BenchReport report("fig_admission", argc, argv);
+  const bool smoke = report.smoke();
+  const bool full = FullScale();
+
+  std::printf("Admission & costing fast paths\n\n");
+  std::printf("(a) per-sharing planning time vs alive views "
+              "(enumeration excluded)\n");
+  std::printf("%-12s %10s %12s %14s %20s %10s\n", "target_views", "alive",
+              "legacy(ms)", "indexed(ms)", "indexed+pool(ms)", "speedup");
+  report.BeginSection("admission_scaling");
+  ThreadPool pool;  // DSM_THREADS / hardware-sized
+  for (const size_t target : smoke ? std::vector<size_t>{60}
+                             : full ? std::vector<size_t>{500, 1000, 2000,
+                                                          4000}
+                                    : std::vector<size_t>{250, 500, 1000,
+                                                          2000}) {
+    const size_t probes = smoke ? 8 : 50;
+    const ModeResult legacy =
+        RunAdmissionMode(target, probes, /*indexed=*/false, nullptr, 71);
+    const ModeResult indexed =
+        RunAdmissionMode(target, probes, /*indexed=*/true, nullptr, 71);
+    const ModeResult indexed_pool =
+        RunAdmissionMode(target, probes, /*indexed=*/true, &pool, 71);
+    const double speedup =
+        indexed_pool.latency.mean_ms > 0.0
+            ? legacy.latency.mean_ms / indexed_pool.latency.mean_ms
+            : 0.0;
+    std::printf("%-12zu %10zu %12.3f %14.3f %20.3f %9.1fx\n", target,
+                legacy.alive_views, legacy.latency.mean_ms,
+                indexed.latency.mean_ms, indexed_pool.latency.mean_ms,
+                speedup);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("target_views", static_cast<int64_t>(target));
+    row.Set("alive_views", static_cast<int64_t>(legacy.alive_views));
+    row.Set("legacy", legacy.latency.ToJson());
+    row.Set("indexed", indexed.latency.ToJson());
+    row.Set("indexed_parallel", indexed_pool.latency.ToJson());
+    row.Set("speedup_indexed_vs_legacy",
+            indexed.latency.mean_ms > 0.0
+                ? legacy.latency.mean_ms / indexed.latency.mean_ms
+                : 0.0);
+    row.Set("speedup_indexed_parallel_vs_legacy", speedup);
+    report.Row(std::move(row));
+  }
+
+  std::printf("\n(b) FAIRCOST refresh per arrival: scratch vs incremental "
+              "containment DAG\n");
+  std::printf("%-10s %14s %18s %10s\n", "sharings", "scratch(ms)",
+              "incremental(ms)", "speedup");
+  report.BeginSection("faircost_refresh");
+  for (const size_t population : smoke ? std::vector<size_t>{20}
+                                 : full ? std::vector<size_t>{250, 500, 1000,
+                                                              1500}
+                                        : std::vector<size_t>{100, 250, 500,
+                                                              1000}) {
+    const RefreshResult r =
+        RunRefreshMode(population, smoke ? 3 : 15, 172);
+    const double speedup = r.incremental_mean_ms > 0.0
+                               ? r.scratch_mean_ms / r.incremental_mean_ms
+                               : 0.0;
+    std::printf("%-10zu %14.3f %18.3f %9.1fx\n", r.sharings,
+                r.scratch_mean_ms, r.incremental_mean_ms, speedup);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("sharings", static_cast<int64_t>(r.sharings));
+    row.Set("scratch_mean_ms", r.scratch_mean_ms);
+    row.Set("incremental_mean_ms", r.incremental_mean_ms);
+    row.Set("speedup_incremental_vs_scratch", speedup);
+    report.Row(std::move(row));
+  }
+
+  return report.Finish();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dsm
+
+int main(int argc, char** argv) { return dsm::bench::Main(argc, argv); }

@@ -16,6 +16,7 @@ Status Cluster::MarkDown(ServerId id) {
   if (servers_[id].up) {
     servers_[id].up = false;
     --live_count_;
+    ++liveness_epoch_;
   }
   return Status::OK();
 }
@@ -27,6 +28,7 @@ Status Cluster::MarkUp(ServerId id) {
   if (!servers_[id].up) {
     servers_[id].up = true;
     ++live_count_;
+    ++liveness_epoch_;
   }
   return Status::OK();
 }

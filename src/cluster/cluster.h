@@ -68,6 +68,11 @@ class Cluster {
   bool is_up(ServerId id) const {
     return id < servers_.size() && servers_[id].up;
   }
+  // Monotone counter bumped on every liveness transition (MarkDown /
+  // MarkUp that actually flips a server). Caches whose validity depends on
+  // which servers are up — e.g. the global plan's best-reuse-source cache —
+  // compare this against the epoch they were filled at.
+  uint64_t liveness_epoch() const { return liveness_epoch_; }
   // Rated capacity while up, 0 while down.
   double effective_capacity(ServerId id) const {
     return is_up(id) ? servers_[id].capacity_tuples_per_unit : 0.0;
@@ -95,6 +100,7 @@ class Cluster {
   std::vector<int64_t> home_;  // home_[table] = server id or -1
   CostRates rates_;
   size_t live_count_ = 0;
+  uint64_t liveness_epoch_ = 0;
 };
 
 }  // namespace dsm

@@ -40,6 +40,14 @@ class CostModel {
  public:
   virtual ~CostModel() = default;
 
+  // True if the model's query methods may be called from multiple threads
+  // concurrently AND answer independently of query order. The online
+  // planner only fans candidate scoring out over a thread pool when this
+  // holds; models whose memoization is order-dependent (e.g. the
+  // TableDrivenCostModel, which draws memoized values from an Rng in
+  // first-query order) must keep the default false.
+  virtual bool SupportsConcurrentQueries() const { return false; }
+
   // $ per time unit to maintain the join view `out` at `server` from the
   // child views (each possibly on a different server; cross-server children
   // imply delta-copy traffic as in Figure 2).

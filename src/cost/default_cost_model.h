@@ -23,6 +23,11 @@ class DefaultCostModel : public CostModel {
   DefaultCostModel(const Catalog* catalog, const Cluster* cluster)
       : catalog_(catalog), cluster_(cluster), estimator_(catalog) {}
 
+  // All estimates are pure functions of the catalog; the estimator's
+  // memo is lock-protected, so concurrent queries are safe and
+  // order-independent.
+  bool SupportsConcurrentQueries() const override { return true; }
+
   double JoinCost(const ViewKey& out, ServerId server, const ViewKey& left,
                   ServerId left_server, const ViewKey& right,
                   ServerId right_server) override;

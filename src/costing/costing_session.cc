@@ -9,8 +9,10 @@ namespace dsm {
 
 Result<CostingSession::Snapshot> CostingSession::Refresh() {
   DSM_METRIC_COUNTER_ADD("dsm.costing.refreshes", 1);
-  DSM_ASSIGN_OR_RETURN(const FairCostProblem problem,
-                       BuildFairCostProblem(*global_plan_, lpc_));
+  DSM_ASSIGN_OR_RETURN(
+      const FairCostProblem problem,
+      BuildFairCostProblem(*global_plan_, lpc_,
+                           incremental_dag_enabled_ ? &dag_index_ : nullptr));
   FairCost::Options options;
   options.lpc_overrun_fallback = true;  // bill even mid-amortization
   DSM_ASSIGN_OR_RETURN(

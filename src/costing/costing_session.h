@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "costing/fair_cost.h"
+#include "costing/incremental_containment.h"
 #include "costing/lpc.h"
 #include "globalplan/global_plan.h"
 
@@ -48,10 +49,23 @@ class CostingSession {
   // Current AC of a sharing per the latest snapshot (-1 if unknown).
   double CurrentAc(SharingId id) const;
 
+  // When disabled, each Refresh rebuilds the containment DAG from scratch
+  // instead of diffing against the persistent index (same result; used by
+  // benchmarks to measure the scratch baseline).
+  void set_incremental_dag_enabled(bool enabled) {
+    incremental_dag_enabled_ = enabled;
+    if (!enabled) dag_index_.Reset();
+  }
+  bool incremental_dag_enabled() const { return incremental_dag_enabled_; }
+
  private:
   const GlobalPlan* global_plan_;
   LpcCalculator* lpc_;
   std::vector<Snapshot> history_;
+  // Containment DAG carried across refreshes; only sharings added or
+  // removed since the previous Refresh are compared.
+  IncrementalContainmentIndex dag_index_;
+  bool incremental_dag_enabled_ = true;
 };
 
 }  // namespace dsm

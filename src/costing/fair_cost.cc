@@ -10,11 +10,39 @@
 namespace dsm {
 namespace {
 
-// Cost upper bounds per sharing at fairness degree `alpha`.
-std::vector<double> ComputeBounds(const std::vector<FairCostEntry>& entries,
-                                  double alpha) {
+// Alpha-independent scratch state of ComputeBounds. The bisection loop
+// calls ComputeBounds dozens of times over the same entries; the LPC order
+// and group count only depend on the entries, and the group_min/ub buffers
+// can be recycled, so all allocations are hoisted out of the loop here.
+struct BoundsWorkspace {
+  explicit BoundsWorkspace(const std::vector<FairCostEntry>& entries) {
+    const size_t n = entries.size();
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return entries[a].lpc > entries[b].lpc;
+    });
+    size_t num_groups = 0;
+    for (const FairCostEntry& e : entries) {
+      num_groups = std::max(num_groups,
+                            static_cast<size_t>(e.identity_group) + 1);
+    }
+    group_min.resize(num_groups);
+    ub.resize(n);
+  }
+
+  std::vector<size_t> order;      // indices by decreasing LPC
+  std::vector<double> group_min;  // one slot per identity group
+  std::vector<double> ub;         // reused result buffer
+};
+
+// Cost upper bounds per sharing at fairness degree `alpha`. The returned
+// reference aliases `ws.ub` and is invalidated by the next call.
+const std::vector<double>& ComputeBounds(
+    const std::vector<FairCostEntry>& entries, double alpha,
+    BoundsWorkspace& ws) {
   const size_t n = entries.size();
-  std::vector<double> ub(n);
+  std::vector<double>& ub = ws.ub;
   // Criteria (2) and (4); attributed costs cannot go negative.
   for (size_t i = 0; i < n; ++i) {
     ub[i] = std::max(
@@ -28,30 +56,22 @@ std::vector<double> ComputeBounds(const std::vector<FairCostEntry>& entries,
   //      (their GPCs can differ when the provider used different plans);
   //  (3) each sharing is capped by its containers' bounds, processed in
   //      decreasing LPC order (containers have LPC no smaller).
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return entries[a].lpc > entries[b].lpc;
-  });
-  std::vector<double> group_min;
   for (size_t pass = 0; pass < n + 2; ++pass) {
     bool changed = false;
-    group_min.clear();
+    std::fill(ws.group_min.begin(), ws.group_min.end(),
+              std::numeric_limits<double>::infinity());
     for (size_t i = 0; i < n; ++i) {
       const uint32_t g = entries[i].identity_group;
-      if (group_min.size() <= g) {
-        group_min.resize(g + 1, std::numeric_limits<double>::infinity());
-      }
-      group_min[g] = std::min(group_min[g], ub[i]);
+      ws.group_min[g] = std::min(ws.group_min[g], ub[i]);
     }
     for (size_t i = 0; i < n; ++i) {
-      const double v = group_min[entries[i].identity_group];
+      const double v = ws.group_min[entries[i].identity_group];
       if (v < ub[i]) {
         ub[i] = v;
         changed = true;
       }
     }
-    for (const size_t i : order) {
+    for (const size_t i : ws.order) {
       for (const int j : entries[i].containers) {
         const double v = ub[static_cast<size_t>(j)];
         if (v < ub[i]) {
@@ -81,9 +101,11 @@ Result<FairCostResult> FairCost::Compute(
   DSM_METRIC_SCOPED_LATENCY_MS("dsm.costing.faircost_ms");
   DSM_TRACE_SPAN("costing/faircost");
 
+  BoundsWorkspace ws(entries);
+
   // Lemma 5.2: satisfiable iff the bounds at α = 0 (which equal the LPCs
   // when GPC >= LPC) can still recover the global plan cost.
-  std::vector<double> ub0 = ComputeBounds(entries, 0.0);
+  const std::vector<double>& ub0 = ComputeBounds(entries, 0.0, ws);
   if (Sum(ub0) + options.tolerance < global_cost) {
     if (!options.lpc_overrun_fallback) {
       return Status::Infeasible(
@@ -107,7 +129,7 @@ Result<FairCostResult> FairCost::Compute(
   }
 
   FairCostResult result;
-  std::vector<double> ub = ComputeBounds(entries, 1.0);
+  const std::vector<double>& ub = ComputeBounds(entries, 1.0, ws);
   if (Sum(ub) + options.tolerance >= global_cost) {
     // Maximum fairness achievable outright.
     result.alpha = 1.0;
@@ -118,14 +140,14 @@ Result<FairCostResult> FairCost::Compute(
     for (int iter = 0; iter < options.max_iterations; ++iter) {
       DSM_METRIC_COUNTER_ADD("dsm.costing.bisect_iterations", 1);
       const double mid = 0.5 * (lo + hi);
-      if (Sum(ComputeBounds(entries, mid)) >= global_cost) {
+      if (Sum(ComputeBounds(entries, mid, ws)) >= global_cost) {
         lo = mid;
       } else {
         hi = mid;
       }
     }
     result.alpha = lo;
-    ub = ComputeBounds(entries, lo);
+    ComputeBounds(entries, lo, ws);  // refreshes ws.ub (== ub) for α = lo
   }
 
   // Criterion (5): recover cost(GP) exactly. The bounds sum to at least

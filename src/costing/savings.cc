@@ -1,54 +1,50 @@
 #include "costing/savings.h"
 
-#include <unordered_map>
-#include <unordered_set>
-
 #include "costing/containment_dag.h"
 
 namespace dsm {
 
-Result<FairCostProblem> BuildFairCostProblem(const GlobalPlan& global_plan,
-                                             LpcCalculator* lpc) {
+Result<FairCostProblem> BuildFairCostProblem(
+    const GlobalPlan& global_plan, LpcCalculator* lpc,
+    IncrementalContainmentIndex* dag_index) {
   FairCostProblem problem;
   problem.global_cost = global_plan.TotalCost();
-  problem.ids = global_plan.sharing_ids();
+  const size_t n = global_plan.num_sharings();
+  problem.ids.reserve(n);
+  problem.sharings.reserve(n);
+  problem.entries.reserve(n);
 
-  // saving(r) and num(r) per intermediate result.
-  struct SavingNum {
-    double saving = 0.0;
-    int num = 0;
-  };
-  std::unordered_map<ViewKey, SavingNum, ViewKeyHash> stats;
-  for (const GlobalPlan::ReuseStat& st : global_plan.ComputeReuseStats()) {
-    stats[st.key] = SavingNum{st.saving, st.num};
-  }
+  // saving(r)/num(r) per intermediate result, dense over interned key
+  // ids; each record carries its distinct key ids since admission, so
+  // this whole aggregation never hashes a ViewKey.
+  const std::vector<double> shares = global_plan.ComputeSavingShares();
 
   std::vector<double> lpcs;
-  for (const SharingId id : problem.ids) {
-    const GlobalPlan::SharingRecord* rec = global_plan.record(id);
-    problem.sharings.push_back(rec->sharing);
+  lpcs.reserve(n);
+  for (const auto& [id, rec] : global_plan.records()) {
+    problem.ids.push_back(id);
+    problem.sharings.push_back(rec.sharing);
 
     FairCostEntry entry;
     entry.id = id;
-    entry.gpc = rec->gpc;
-    DSM_ASSIGN_OR_RETURN(entry.lpc, lpc->Lpc(rec->sharing));
+    entry.gpc = rec.gpc;
+    DSM_ASSIGN_OR_RETURN(entry.lpc, lpc->Lpc(rec.sharing));
 
     // Σ_{r ∈ S's plan} saving(r)/num(r), over distinct intermediate
     // results of the sharing's individual plan.
-    std::unordered_set<ViewKey, ViewKeyHash> seen;
-    for (const PlanNode& node : rec->plan.nodes) {
-      if (node.type == PlanNodeType::kLeaf) continue;
-      if (!seen.insert(node.key).second) continue;
-      const auto it = stats.find(node.key);
-      if (it == stats.end() || it->second.num == 0) continue;
-      entry.saving_term += it->second.saving / it->second.num;
+    for (const auto& [kid, node] : rec.distinct_keys) {
+      (void)node;
+      entry.saving_term += shares[static_cast<size_t>(kid)];
     }
 
     lpcs.push_back(entry.lpc);
     problem.entries.push_back(std::move(entry));
   }
 
-  const ContainmentDag dag = BuildContainmentDag(problem.sharings, lpcs);
+  const ContainmentDag dag =
+      dag_index != nullptr
+          ? dag_index->Update(problem.ids, problem.sharings, lpcs)
+          : BuildContainmentDag(problem.sharings, lpcs);
   for (size_t i = 0; i < problem.entries.size(); ++i) {
     problem.entries[i].identity_group = dag.identity_group[i];
     problem.entries[i].containers = dag.containers[i];

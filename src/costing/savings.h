@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "costing/fair_cost.h"
+#include "costing/incremental_containment.h"
 #include "costing/lpc.h"
 #include "globalplan/global_plan.h"
 
@@ -24,8 +25,14 @@ struct FairCostProblem {
 // Speculative provider-owned views (ids >= SpeculativeViewAdvisor's base)
 // are included: they are sharings of the provider itself and their cost
 // must be recovered too.
-Result<FairCostProblem> BuildFairCostProblem(const GlobalPlan& global_plan,
-                                             LpcCalculator* lpc);
+//
+// When `dag_index` is non-null, the identity/containment partial order is
+// taken from the persistent index (only population changes since its last
+// Update are compared) instead of a scratch O(n²) BuildContainmentDag; the
+// result is identical either way.
+Result<FairCostProblem> BuildFairCostProblem(
+    const GlobalPlan& global_plan, LpcCalculator* lpc,
+    IncrementalContainmentIndex* dag_index = nullptr);
 
 }  // namespace dsm
 

@@ -60,4 +60,37 @@ std::vector<Predicate> PredicateDifference(
   return out;
 }
 
+namespace {
+
+uint64_t HashPredicate(const Predicate& p) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(p.value));
+  __builtin_memcpy(&bits, &p.value, sizeof(bits));
+  uint64_t v = (static_cast<uint64_t>(p.table) << 40) ^
+               (static_cast<uint64_t>(p.column) << 24) ^
+               (static_cast<uint64_t>(p.op) << 16) ^ bits;
+  // splitmix64 finalizer: spreads the structured bit layout above.
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return v ^ (v >> 31);
+}
+
+}  // namespace
+
+uint64_t PredicateFingerprint(const std::vector<Predicate>& preds) {
+  uint64_t h = 0x6a09e667f3bcc909ULL;
+  for (const Predicate& p : preds) {
+    h ^= HashPredicate(p) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+uint64_t PredicateSignature(const std::vector<Predicate>& preds) {
+  uint64_t sig = 0;
+  for (const Predicate& p : preds) {
+    sig |= 1ULL << (HashPredicate(p) & 63);
+  }
+  return sig;
+}
+
 }  // namespace dsm

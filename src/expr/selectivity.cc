@@ -45,8 +45,11 @@ double StatsEstimator::CombinedSelectivity(
 }
 
 double StatsEstimator::JoinCardinality(TableSet tables) {
-  const auto it = join_card_cache_.find(tables);
-  if (it != join_card_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto it = join_card_cache_.find(tables);
+    if (it != join_card_cache_.end()) return it->second;
+  }
 
   const std::vector<TableId> members = tables.ToVector();
   double card = 0.0;
@@ -74,6 +77,7 @@ double StatsEstimator::JoinCardinality(TableSet tables) {
     }
     card = std::max(card, 1.0);
   }
+  std::lock_guard<std::mutex> lock(cache_mu_);
   join_card_cache_.emplace(tables, card);
   return card;
 }
@@ -102,6 +106,9 @@ double StatsEstimator::TupleBytes(TableSet tables) const {
   return bytes;
 }
 
-void StatsEstimator::InvalidateCache() { join_card_cache_.clear(); }
+void StatsEstimator::InvalidateCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  join_card_cache_.clear();
+}
 
 }  // namespace dsm

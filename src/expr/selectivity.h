@@ -10,6 +10,7 @@
 #ifndef DSM_EXPR_SELECTIVITY_H_
 #define DSM_EXPR_SELECTIVITY_H_
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,7 +30,9 @@ class StatsEstimator {
   // Product of the member predicates' selectivities (independence).
   double CombinedSelectivity(const std::vector<Predicate>& preds) const;
 
-  // Estimated number of tuples in the view. Memoized per key.
+  // Estimated number of tuples in the view. Memoized per key. Safe to
+  // call concurrently: memoized values are pure functions of the catalog,
+  // so the lock only protects the cache map, never the answer.
   double Cardinality(const ViewKey& key);
 
   // Estimated update tuples per time unit flowing *into* the view, i.e.
@@ -48,6 +51,7 @@ class StatsEstimator {
   double JoinCardinality(TableSet tables);
 
   const Catalog* catalog_;
+  std::mutex cache_mu_;  // guards join_card_cache_ under concurrent queries
   std::unordered_map<TableSet, double, TableSetHash> join_card_cache_;
 };
 

@@ -2,11 +2,126 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <functional>
 
 #include "obs/metrics.h"
 
 namespace dsm {
+namespace {
+
+// Relative tolerance of the reuse tie-break: costs this close count as
+// equal, and an exact-match view (no residual filter/copy node needed)
+// wins the tie regardless of FP noise in the cost model.
+constexpr double kReuseTieTol = 1e-9;
+
+bool CostStrictlyBetter(double cost, double best_cost) {
+  const double tol =
+      kReuseTieTol * std::max({1.0, std::abs(cost), std::abs(best_cost)});
+  return cost < best_cost - tol;
+}
+
+bool CostTies(double cost, double best_cost) {
+  const double tol =
+      kReuseTieTol * std::max({1.0, std::abs(cost), std::abs(best_cost)});
+  return cost <= best_cost + tol;
+}
+
+}  // namespace
+
+int GlobalPlan::InternKeyLocked(const ViewKey& key) const {
+  // find-before-insert: every reuse probe passes through here, and an
+  // unconditional emplace would allocate a node (and copy the key's
+  // predicate vector) per probe just to discard it on the common repeat.
+  const auto it = key_intern_.find(key);
+  if (it != key_intern_.end()) return it->second;
+  const int id = static_cast<int>(key_intern_.size());
+  key_intern_.emplace(key, id);
+  interned_keys_.push_back(key);
+  return id;
+}
+
+int GlobalPlan::ScanForBestReuse(const TableBucket& bucket,
+                                 const ViewKey& needed, ServerId server,
+                                 int needed_key_id,
+                                 double* residual_cost) const {
+  int best = -1;
+  double best_cost = 0.0;
+  bool best_exact = false;
+  // Residual costs are pure in (candidate, needed, server) for stateless
+  // models, so repeated scans (the index re-scans after every structure
+  // epoch bump) skip the model call. Stateful models (memoizing via an
+  // order-sensitive Rng) must see every call, or their later answers — and
+  // hence legacy-vs-indexed decisions — would diverge.
+  const bool memo_costs = needed_key_id >= 0 &&
+                          needed_key_id < (1 << 24) &&
+                          model_->SupportsConcurrentQueries();
+  // Signature prefilter (indexed mode): a candidate whose predicate
+  // signature has bits outside `needed`'s cannot have a predicate subset
+  // (see PredicateSignature), so most non-subsumers cost one AND instead
+  // of a memo probe. Never rejects a true subsumer — decisions match the
+  // unfiltered scan exactly.
+  const uint64_t needed_sig =
+      needed_key_id >= 0 ? PredicateSignature(needed.predicates) : 0;
+  for (const int id : bucket.ids) {
+    const GPNode& cand = nodes_[static_cast<size_t>(id)];
+    if (!cand.alive) continue;
+    if (needed_key_id >= 0 && (cand.pred_sig & ~needed_sig) != 0) continue;
+    bool subsumes;
+    if (needed_key_id >= 0 && cand.key_id >= 0) {
+      const uint64_t memo_key =
+          (static_cast<uint64_t>(cand.key_id) << 32) |
+          static_cast<uint32_t>(needed_key_id);
+      const auto mit = subsumes_memo_.find(memo_key);
+      if (mit != subsumes_memo_.end()) {
+        subsumes = mit->second;
+      } else {
+        subsumes = cand.key.Subsumes(needed);
+        subsumes_memo_.emplace(memo_key, subsumes);
+      }
+    } else {
+      subsumes = cand.key.Subsumes(needed);
+    }
+    if (!subsumes) continue;
+    // A view on a down server is lost; it cannot feed anyone.
+    if (!cluster_->is_up(cand.server)) continue;
+    const bool exact = cand.server == server &&
+                       (needed_key_id >= 0 && cand.key_id >= 0
+                            ? cand.key_id == needed_key_id
+                            : cand.key == needed);
+    double cost = 0.0;
+    if (!exact) {
+      if (memo_costs && id < (1 << 24) &&
+          server < static_cast<ServerId>(1 << 16)) {
+        const uint64_t cost_key = (static_cast<uint64_t>(id) << 40) |
+                                  (static_cast<uint64_t>(needed_key_id)
+                                   << 16) |
+                                  static_cast<uint64_t>(server);
+        const auto cit = residual_cost_memo_.find(cost_key);
+        if (cit != residual_cost_memo_.end()) {
+          cost = cit->second;
+        } else {
+          cost = model_->FilterCopyCost(cand.key, cand.server, needed,
+                                        server);
+          residual_cost_memo_.emplace(cost_key, cost);
+        }
+      } else {
+        cost = model_->FilterCopyCost(cand.key, cand.server, needed,
+                                      server);
+      }
+    }
+    // Prefer cheaper sources; on (near-)ties prefer an exact match, which
+    // needs no residual filter/copy node at all.
+    if (best < 0 || CostStrictlyBetter(cost, best_cost) ||
+        (CostTies(cost, best_cost) && exact && !best_exact)) {
+      best = id;
+      best_cost = cost;
+      best_exact = exact;
+    }
+  }
+  if (best >= 0) *residual_cost = best_cost;
+  return best;
+}
 
 int GlobalPlan::FindBestReuse(const ViewKey& needed, ServerId server,
                               const AddOptions& options,
@@ -18,30 +133,65 @@ int GlobalPlan::FindBestReuse(const ViewKey& needed, ServerId server,
   }
   const auto it = by_tables_.find(needed.tables.mask());
   if (it == by_tables_.end()) return -1;
+  const TableBucket& bucket = it->second;
+
+  if (!reuse_index_enabled_) {
+    return ScanForBestReuse(bucket, needed, server, /*needed_key_id=*/-1,
+                            residual_cost);
+  }
+
+  // The forbid check above only gates `needed` itself, never which
+  // candidates may serve it, so the cached answer for (needed, server) is
+  // valid under any AddOptions that reach this point.
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const int needed_key_id = InternKeyLocked(needed);
+  const uint64_t cache_key =
+      (static_cast<uint64_t>(needed_key_id) << 32) | server;
+  const uint64_t liveness = cluster_->liveness_epoch();
+  const auto cached = best_source_cache_.find(cache_key);
+  if (cached != best_source_cache_.end() &&
+      cached->second.epoch == epoch_ &&
+      cached->second.liveness_epoch == liveness) {
+    DSM_METRIC_COUNTER_ADD("dsm.globalplan.reuse_index_hits", 1);
+    if (cached->second.best >= 0) *residual_cost = cached->second.residual;
+    return cached->second.best;
+  }
+  DSM_METRIC_COUNTER_ADD("dsm.globalplan.reuse_index_misses", 1);
+
   int best = -1;
-  double best_cost = 0.0;
-  bool best_exact = false;
-  for (const int id : it->second) {
-    const GPNode& cand = nodes_[static_cast<size_t>(id)];
-    if (!cand.alive || !cand.key.Subsumes(needed)) continue;
-    // A view on a down server is lost; it cannot feed anyone.
-    if (!cluster_->is_up(cand.server)) continue;
-    const bool exact = cand.key == needed && cand.server == server;
-    const double cost =
-        exact ? 0.0
-              : model_->FilterCopyCost(cand.key, cand.server, needed,
-                                       server);
-    // Prefer cheaper sources; on ties prefer an exact match, which needs
-    // no residual filter/copy node at all.
-    if (best < 0 || cost < best_cost ||
-        (cost == best_cost && exact && !best_exact)) {
-      best = id;
-      best_cost = cost;
-      best_exact = exact;
+  double residual = 0.0;
+  // Exact fast path: a same-key view already on `server` costs zero and
+  // wins the exact-preference tie-break against every other candidate
+  // (costs are non-negative), so the scan can be skipped outright. The
+  // fingerprint sub-bucket preserves insertion order, so the first match
+  // here is the one the legacy scan would keep.
+  const auto fit =
+      bucket.by_fingerprint.find(PredicateFingerprint(needed.predicates));
+  if (fit != bucket.by_fingerprint.end() && cluster_->is_up(server)) {
+    for (const int id : fit->second) {
+      const GPNode& cand = nodes_[static_cast<size_t>(id)];
+      if (cand.alive && cand.server == server && cand.key == needed) {
+        best = id;
+        break;
+      }
     }
   }
-  if (best >= 0) *residual_cost = best_cost;
+  if (best < 0) {
+    best = ScanForBestReuse(bucket, needed, server, needed_key_id,
+                            &residual);
+  }
+  best_source_cache_[cache_key] = BestSource{epoch_, liveness, best,
+                                             residual};
+  if (best >= 0) *residual_cost = residual;
   return best;
+}
+
+void GlobalPlan::set_reuse_index_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  reuse_index_enabled_ = enabled;
+  best_source_cache_.clear();
+  subsumes_memo_.clear();
+  residual_cost_memo_.clear();
 }
 
 void GlobalPlan::Decide(const SharingPlan& plan, const AddOptions& options,
@@ -158,11 +308,20 @@ int GlobalPlan::CreateNode(GPNode node) {
   node.load = NodeLoad(node);
   node.refcount = 0;
   node.alive = true;
+  node.pred_fp = PredicateFingerprint(node.key.predicates);
+  node.pred_sig = PredicateSignature(node.key.predicates);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    node.key_id = InternKeyLocked(node.key);
+  }
   const int id = static_cast<int>(nodes_.size());
   total_cost_ += node.cost;
   server_load_[node.server] += node.load;
-  by_tables_[node.key.tables.mask()].push_back(id);
+  TableBucket& bucket = by_tables_[node.key.tables.mask()];
+  bucket.ids.push_back(id);
+  bucket.by_fingerprint[node.pred_fp].push_back(id);
   ++alive_count_;
+  ++epoch_;
   nodes_.push_back(std::move(node));
   DSM_METRIC_COUNTER_ADD("dsm.globalplan.nodes_created", 1);
   DSM_METRIC_GAUGE_SET("dsm.globalplan.total_cost", total_cost_);
@@ -177,9 +336,15 @@ void GlobalPlan::KillNode(int id) {
   node.alive = false;
   total_cost_ -= node.cost;
   server_load_[node.server] -= node.load;
-  auto& bucket = by_tables_[node.key.tables.mask()];
-  bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+  TableBucket& bucket = by_tables_[node.key.tables.mask()];
+  bucket.ids.erase(std::remove(bucket.ids.begin(), bucket.ids.end(), id),
+                   bucket.ids.end());
+  auto& fp_bucket = bucket.by_fingerprint[node.pred_fp];
+  fp_bucket.erase(std::remove(fp_bucket.begin(), fp_bucket.end(), id),
+                  fp_bucket.end());
+  if (fp_bucket.empty()) bucket.by_fingerprint.erase(node.pred_fp);
   --alive_count_;
+  ++epoch_;
   DSM_METRIC_COUNTER_ADD("dsm.globalplan.nodes_killed", 1);
   DSM_METRIC_GAUGE_SET("dsm.globalplan.total_cost", total_cost_);
   DSM_METRIC_GAUGE_SET("dsm.globalplan.alive_views",
@@ -270,6 +435,27 @@ Result<GlobalPlan::PlanEvaluation> GlobalPlan::AddSharing(
   for (const double c : rec.standalone_cost) standalone_total += c;
   rec.gpc = standalone_total + rec.residual_cost;
 
+  // Distinct non-leaf keys, interned once at admission so every later
+  // costing refresh aggregates savings over dense ids. Plans are small, so
+  // a linear dedup beats a hash set here.
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (size_t i = 0; i < n; ++i) {
+      const PlanNode& pn = plan.nodes[i];
+      if (pn.type == PlanNodeType::kLeaf) continue;
+      const int kid = InternKeyLocked(pn.key);
+      bool seen = false;
+      for (const auto& [prev_kid, prev_node] : rec.distinct_keys) {
+        (void)prev_node;
+        if (prev_kid == kid) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) rec.distinct_keys.emplace_back(kid, static_cast<int>(i));
+    }
+  }
+
   // Closure: every GP node this sharing depends on, transitively.
   std::unordered_set<int> closure;
   std::function<void(int)> reach = [&](int gp) {
@@ -282,7 +468,9 @@ Result<GlobalPlan::PlanEvaluation> GlobalPlan::AddSharing(
 
   std::vector<int> closure_vec(closure.begin(), closure.end());
   for (const int gp : closure_vec) {
-    ++nodes_[static_cast<size_t>(gp)].refcount;
+    GPNode& g = nodes_[static_cast<size_t>(gp)];
+    ++g.refcount;
+    sharings_by_server_[g.server].insert(id);
   }
   closures_[id] = std::move(closure_vec);
   records_[id] = std::move(rec);
@@ -296,6 +484,11 @@ Status GlobalPlan::RemoveSharing(SharingId id) {
   }
   for (const int gp : it->second) {
     GPNode& node = nodes_[static_cast<size_t>(gp)];
+    const auto sit = sharings_by_server_.find(node.server);
+    if (sit != sharings_by_server_.end()) {
+      sit->second.erase(id);
+      if (sit->second.empty()) sharings_by_server_.erase(sit);
+    }
     if (--node.refcount == 0 && node.alive) {
       KillNode(gp);
     }
@@ -313,7 +506,13 @@ double GlobalPlan::ServerLoad(ServerId server) const {
 bool GlobalPlan::HasUnpredicatedView(TableSet tables) const {
   const auto it = by_tables_.find(tables.mask());
   if (it == by_tables_.end()) return false;
-  for (const int id : it->second) {
+  // The unpredicated view, if any, lives in the empty-fingerprint
+  // sub-bucket; other fingerprints can only collide into it, so the
+  // predicate check below still verifies.
+  static const uint64_t kEmptyFp = PredicateFingerprint({});
+  const auto fit = it->second.by_fingerprint.find(kEmptyFp);
+  if (fit == it->second.by_fingerprint.end()) return false;
+  for (const int id : fit->second) {
     const GPNode& node = nodes_[static_cast<size_t>(id)];
     if (node.alive && node.key.predicates.empty()) return true;
   }
@@ -322,17 +521,9 @@ bool GlobalPlan::HasUnpredicatedView(TableSet tables) const {
 
 std::vector<SharingId> GlobalPlan::SharingsTouchingServer(
     ServerId server) const {
-  std::vector<SharingId> out;
-  for (const auto& [id, closure] : closures_) {
-    for (const int gp : closure) {
-      const GPNode& node = nodes_[static_cast<size_t>(gp)];
-      if (node.alive && node.server == server) {
-        out.push_back(id);
-        break;
-      }
-    }
-  }
-  return out;
+  const auto it = sharings_by_server_.find(server);
+  if (it == sharings_by_server_.end()) return {};
+  return std::vector<SharingId>(it->second.begin(), it->second.end());
 }
 
 std::vector<SharingId> GlobalPlan::sharing_ids() const {
@@ -357,27 +548,50 @@ const std::vector<int>* GlobalPlan::closure(SharingId id) const {
   return it == closures_.end() ? nullptr : &it->second;
 }
 
-std::vector<GlobalPlan::ReuseStat> GlobalPlan::ComputeReuseStats() const {
-  std::unordered_map<ViewKey, ReuseStat, ViewKeyHash> stats;
+void GlobalPlan::AccumulateReuseLocked(std::vector<double>* saving,
+                                       std::vector<int>* num) const {
+  saving->assign(interned_keys_.size(), 0.0);
+  num->assign(interned_keys_.size(), 0);
   for (const auto& [id, rec] : records_) {
-    std::unordered_set<ViewKey, ViewKeyHash> counted;
-    for (size_t i = 0; i < rec.plan.nodes.size(); ++i) {
-      const PlanNode& pn = rec.plan.nodes[i];
-      if (pn.type == PlanNodeType::kLeaf) continue;
-      if (!counted.insert(pn.key).second) continue;
-      ReuseStat& st = stats[pn.key];
-      st.key = pn.key;
-      ++st.num;
-      if (rec.decisions[i].state == NodeDecision::kReused) {
-        st.saving += std::max(
-            0.0, rec.subtree_cost[i] - rec.decisions[i].marginal_cost);
+    for (const auto& [kid, node] : rec.distinct_keys) {
+      const auto k = static_cast<size_t>(kid);
+      const auto n = static_cast<size_t>(node);
+      ++(*num)[k];
+      const NodeDecision& d = rec.decisions[n];
+      if (d.state == NodeDecision::kReused) {
+        (*saving)[k] +=
+            std::max(0.0, rec.subtree_cost[n] - d.marginal_cost);
       }
     }
   }
+}
+
+std::vector<GlobalPlan::ReuseStat> GlobalPlan::ComputeReuseStats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::vector<double> saving;
+  std::vector<int> num;
+  AccumulateReuseLocked(&saving, &num);
   std::vector<ReuseStat> out;
-  out.reserve(stats.size());
-  for (auto& [key, st] : stats) out.push_back(std::move(st));
+  for (size_t kid = 0; kid < num.size(); ++kid) {
+    if (num[kid] == 0) continue;
+    ReuseStat st;
+    st.key = interned_keys_[kid];
+    st.saving = saving[kid];
+    st.num = num[kid];
+    out.push_back(std::move(st));
+  }
   return out;
+}
+
+std::vector<double> GlobalPlan::ComputeSavingShares() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::vector<double> saving;
+  std::vector<int> num;
+  AccumulateReuseLocked(&saving, &num);
+  for (size_t kid = 0; kid < num.size(); ++kid) {
+    saving[kid] = num[kid] > 0 ? saving[kid] / num[kid] : 0.0;
+  }
+  return saving;
 }
 
 }  // namespace dsm

@@ -9,11 +9,23 @@
 //
 // The structure also keeps the bookkeeping fair costing needs: per-sharing
 // GPC, and saving(r)/num(r) for every intermediate result (Definition 5.1).
+//
+// Admission is the hot path once plans number in the thousands, so reuse
+// lookup is indexed (see DESIGN.md §11): buckets by table mask are
+// sub-bucketed by predicate fingerprint (exact matches in O(1)), Subsumes
+// verdicts are memoized on interned key pairs, and a per-(key, server)
+// best-source cache short-circuits repeated probes. All caches are
+// epoch-invalidated (structure epoch bumped on node create/kill, cluster
+// liveness epoch on server up/down) and guarded by a mutex so the planner
+// may score candidate plans concurrently; decisions are bit-identical to
+// the legacy linear scan (kept behind set_reuse_index_enabled(false)).
 
 #ifndef DSM_GLOBALPLAN_GLOBAL_PLAN_H_
 #define DSM_GLOBALPLAN_GLOBAL_PLAN_H_
 
 #include <map>
+#include <mutex>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -66,6 +78,11 @@ class GlobalPlan {
     double residual_cost = 0.0;  // extra filter/copy ops created on reuse
     double marginal_cost = 0.0;  // $ the sharing added when integrated
     double gpc = 0.0;            // GPC(S): Σ standalone + residual ops
+    // Distinct non-leaf plan keys as (interned key id, first plan-node
+    // index), in first-appearance order. Lets the per-refresh saving
+    // aggregation run on dense integer ids instead of re-hashing ViewKeys
+    // for every plan node of every record.
+    std::vector<std::pair<int, int>> distinct_keys;
   };
 
   struct ReuseStat {
@@ -81,6 +98,8 @@ class GlobalPlan {
   GlobalPlan& operator=(const GlobalPlan&) = delete;
 
   // Dry run: what would integrating `plan` cost, and is it feasible?
+  // Thread-safe against concurrent EvaluatePlan calls (the planner scores
+  // candidates in parallel); never against concurrent mutation.
   PlanEvaluation EvaluatePlan(const SharingPlan& plan) const {
     return EvaluatePlan(plan, AddOptions{});
   }
@@ -114,12 +133,22 @@ class GlobalPlan {
   std::vector<SharingId> sharing_ids() const;
   // nullptr if unknown.
   const SharingRecord* record(SharingId id) const;
+  // All integrated sharings in id order (costing iterates every record
+  // each refresh; per-id lookups would pay a map find apiece).
+  const std::map<SharingId, SharingRecord>& records() const {
+    return records_;
+  }
 
   double GPC(SharingId id) const;
 
   // saving(r) and num(r) for every intermediate result appearing in any
   // sharing's plan.
   std::vector<ReuseStat> ComputeReuseStats() const;
+
+  // saving(r)/num(r) indexed by interned key id (0.0 where num(r) = 0 or
+  // the id names no plan key). The refresh hot path sums these over each
+  // record's `distinct_keys` without touching a ViewKey.
+  std::vector<double> ComputeSavingShares() const;
 
   size_t num_alive_views() const { return alive_count_; }
 
@@ -137,7 +166,16 @@ class GlobalPlan {
 
   // Sharings whose plan closure includes any alive view materialized on
   // `server` — the blast radius of losing that machine. Sorted by id.
+  // Served from a server -> sharings inverted index maintained on
+  // AddSharing/RemoveSharing (closure nodes stay alive for the sharing's
+  // whole lifetime: their refcount is >= 1 until RemoveSharing).
   std::vector<SharingId> SharingsTouchingServer(ServerId server) const;
+
+  // Legacy toggle for benchmarking and equivalence testing: with the index
+  // disabled every reuse probe is the original linear Subsumes scan.
+  // Decisions are identical either way. Flipping it drops the caches.
+  void set_reuse_index_enabled(bool enabled);
+  bool reuse_index_enabled() const { return reuse_index_enabled_; }
 
  private:
   struct GPNode {
@@ -151,12 +189,47 @@ class GlobalPlan {
     double load = 0.0;
     int refcount = 0;
     bool alive = true;
+    int key_id = -1;        // interned ViewKey id (Subsumes memo)
+    uint64_t pred_fp = 0;   // PredicateFingerprint(key.predicates)
+    uint64_t pred_sig = 0;  // PredicateSignature(key.predicates)
+  };
+
+  // Alive node ids over one table mask. `ids` keeps insertion order (the
+  // legacy scan order, which tie-breaking depends on); `by_fingerprint`
+  // sub-buckets the same ids by predicate fingerprint so an exact-key probe
+  // touches only candidates with identical predicate sets.
+  struct TableBucket {
+    std::vector<int> ids;
+    std::unordered_map<uint64_t, std::vector<int>> by_fingerprint;
+  };
+
+  // Cached result of one (needed key, server) reuse probe.
+  struct BestSource {
+    uint64_t epoch = 0;           // structure epoch at fill time
+    uint64_t liveness_epoch = 0;  // cluster liveness epoch at fill time
+    int best = -1;
+    double residual = 0.0;
   };
 
   // Cheapest way to serve `needed` at `server` from an existing view.
   // Returns the source GP node id or -1; fills `residual_cost`.
   int FindBestReuse(const ViewKey& needed, ServerId server,
                     const AddOptions& options, double* residual_cost) const;
+
+  // The legacy linear scan over `bucket.ids` (also the index's fallback
+  // when no exact match exists). `memo` != nullptr memoizes Subsumes
+  // verdicts on (candidate key id, needed key id); requires cache_mu_.
+  int ScanForBestReuse(const TableBucket& bucket, const ViewKey& needed,
+                       ServerId server, int needed_key_id,
+                       double* residual_cost) const;
+
+  // Interns `key`, returning its dense id. Requires cache_mu_.
+  int InternKeyLocked(const ViewKey& key) const;
+
+  // Accumulates saving(r)/num(r) numerators and counts per interned key
+  // id (sized to the current intern table). Requires cache_mu_.
+  void AccumulateReuseLocked(std::vector<double>* saving,
+                             std::vector<int>* num) const;
 
   // Fills `eval` for `plan`; shared by EvaluatePlan and AddSharing.
   void Decide(const SharingPlan& plan, const AddOptions& options,
@@ -172,13 +245,39 @@ class GlobalPlan {
 
   std::vector<GPNode> nodes_;
   // tables mask -> alive GP node ids over that table set (reuse index).
-  std::unordered_map<uint64_t, std::vector<int>> by_tables_;
+  std::unordered_map<uint64_t, TableBucket> by_tables_;
   std::map<SharingId, SharingRecord> records_;
   std::map<SharingId, std::vector<int>> closures_;  // refcounted node sets
+
+  // Inverted index behind SharingsTouchingServer: which sharings' closures
+  // place an alive view on each server.
+  std::map<ServerId, std::set<SharingId>> sharings_by_server_;
 
   double total_cost_ = 0.0;
   std::unordered_map<ServerId, double> server_load_;
   size_t alive_count_ = 0;
+
+  bool reuse_index_enabled_ = true;
+  // Bumped by CreateNode/KillNode; best-source cache entries filled at an
+  // older epoch (or an older cluster liveness epoch) are stale.
+  uint64_t epoch_ = 0;
+
+  // Read-side caches mutated from const EvaluatePlan paths, which the
+  // planner runs concurrently — hence the mutex. Values are pure functions
+  // of (structure epoch, liveness epoch, key, server), so concurrent
+  // fills are idempotent and results stay deterministic.
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<ViewKey, int, ViewKeyHash> key_intern_;
+  mutable std::vector<ViewKey> interned_keys_;  // id -> key (reverse table)
+  // (candidate key id << 32 | needed key id) -> Subsumes verdict.
+  mutable std::unordered_map<uint64_t, bool> subsumes_memo_;
+  // (GP node id << 40 | needed key id << 16 | server) -> residual
+  // FilterCopyCost. Only filled for stateless cost models (see
+  // CostModel::SupportsConcurrentQueries); never invalidated, since node
+  // ids are not reused and a node's key/server are immutable.
+  mutable std::unordered_map<uint64_t, double> residual_cost_memo_;
+  // (needed key id << 32 | server) -> cached best source.
+  mutable std::unordered_map<uint64_t, BestSource> best_source_cache_;
 };
 
 }  // namespace dsm

@@ -118,8 +118,9 @@ Result<DataMarket::CostReport> DataMarket::ComputeCosts() {
   if (global_plan_ == nullptr || global_plan_->num_sharings() == 0) {
     return Status::InvalidArgument("no active sharings to cost");
   }
-  DSM_ASSIGN_OR_RETURN(const FairCostProblem problem,
-                       BuildFairCostProblem(*global_plan_, lpc_.get()));
+  DSM_ASSIGN_OR_RETURN(
+      const FairCostProblem problem,
+      BuildFairCostProblem(*global_plan_, lpc_.get(), &dag_index_));
   DSM_ASSIGN_OR_RETURN(
       const FairCostResult fair,
       FairCost::Compute(problem.entries, problem.global_cost));

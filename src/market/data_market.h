@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "cost/default_cost_model.h"
 #include "costing/fair_cost.h"
+#include "costing/incremental_containment.h"
 #include "costing/lpc.h"
 #include "globalplan/global_plan.h"
 #include "online/planner.h"
@@ -132,6 +133,9 @@ class DataMarket {
   std::unique_ptr<GlobalPlan> global_plan_;
   std::unique_ptr<OnlinePlanner> planner_;
   std::unique_ptr<LpcCalculator> lpc_;
+  // Containment DAG persisted across ComputeCosts calls; only sharings
+  // submitted or cancelled in between are re-compared.
+  IncrementalContainmentIndex dag_index_;
 };
 
 }  // namespace dsm

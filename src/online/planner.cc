@@ -22,22 +22,26 @@ Result<PlanChoice> OnlinePlanner::ProcessSharing(const Sharing& sharing) {
 
   // Fast path: an identical sharing (same query, same destination) was
   // planned before; reuse its plan wholesale. Integration makes the
-  // marginal cost (near) zero since every view already exists.
+  // marginal cost (near) zero since every view already exists. The stored
+  // sharing is compared for real equality — the 64-bit key alone would let
+  // a hash collision silently reuse the wrong plan.
   const auto it = identical_plans_.find(ident);
-  if (it != identical_plans_.end()) {
+  if (it != identical_plans_.end() &&
+      sharing.IdenticalTo(it->second.sharing) &&
+      sharing.destination() == it->second.sharing.destination()) {
     const GlobalPlan::PlanEvaluation probe =
-        ctx_.global_plan->EvaluatePlan(it->second);
+        ctx_.global_plan->EvaluatePlan(it->second.plan);
     if (probe.feasible) {
       DSM_ASSIGN_OR_RETURN(
           const GlobalPlan::PlanEvaluation eval,
-          ctx_.global_plan->AddSharing(id, sharing, it->second));
-      OnPlanChosen(sharing, it->second, eval);
+          ctx_.global_plan->AddSharing(id, sharing, it->second.plan));
+      OnPlanChosen(sharing, it->second.plan, eval);
       DSM_METRIC_COUNTER_ADD("dsm.online.sharings_planned", 1);
       DSM_METRIC_COUNTER_ADD("dsm.online.reuse_identical_hits", 1);
       DSM_TRACE_ANNOTATE("reused_identical", "true");
       PlanChoice choice;
       choice.id = id;
-      choice.plan = it->second;
+      choice.plan = it->second.plan;
       choice.marginal_cost = eval.marginal_cost;
       choice.reused_identical = true;
       return choice;
@@ -51,6 +55,24 @@ Result<PlanChoice> OnlinePlanner::ProcessSharing(const Sharing& sharing) {
     return Status::InvalidArgument("no plan found for sharing");
   }
 
+  // Dry-run every candidate against the global plan. EvaluatePlan is
+  // const, so the loop fans out on the scoring pool when the cost model
+  // tolerates concurrent queries; results land in index-addressed slots,
+  // keeping the merge deterministic for every pool size. Score runs
+  // serially afterwards in index order — scorers may hold order-sensitive
+  // state (NORMALIZE's counts, MANAGEDRISK's tracker and cost model).
+  std::vector<GlobalPlan::PlanEvaluation> evals(plans.size());
+  if (ctx_.scoring_pool != nullptr &&
+      ctx_.model->SupportsConcurrentQueries()) {
+    ctx_.scoring_pool->ParallelFor(plans.size(), [&](size_t i) {
+      evals[i] = ctx_.global_plan->EvaluatePlan(plans[i]);
+    });
+  } else {
+    for (size_t i = 0; i < plans.size(); ++i) {
+      evals[i] = ctx_.global_plan->EvaluatePlan(plans[i]);
+    }
+  }
+
   struct Scored {
     size_t index;
     double score;
@@ -59,10 +81,8 @@ Result<PlanChoice> OnlinePlanner::ProcessSharing(const Sharing& sharing) {
   std::vector<Scored> scored;
   scored.reserve(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
-    GlobalPlan::PlanEvaluation eval =
-        ctx_.global_plan->EvaluatePlan(plans[i]);
-    const double s = Score(sharing, plans[i], eval);
-    scored.push_back(Scored{i, s, std::move(eval)});
+    const double s = Score(sharing, plans[i], evals[i]);
+    scored.push_back(Scored{i, s, std::move(evals[i])});
   }
   DSM_METRIC_COUNTER_ADD("dsm.online.plans_considered", plans.size());
   std::sort(scored.begin(), scored.end(),
@@ -76,7 +96,7 @@ Result<PlanChoice> OnlinePlanner::ProcessSharing(const Sharing& sharing) {
         const GlobalPlan::PlanEvaluation eval,
         ctx_.global_plan->AddSharing(id, sharing, plans[cand.index]));
     OnPlanChosen(sharing, plans[cand.index], eval);
-    identical_plans_[ident] = plans[cand.index];
+    identical_plans_[ident] = IdenticalEntry{sharing, plans[cand.index]};
     DSM_METRIC_COUNTER_ADD("dsm.online.sharings_planned", 1);
     PlanChoice choice;
     choice.id = id;

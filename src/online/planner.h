@@ -16,6 +16,7 @@
 #include "catalog/catalog.h"
 #include "cluster/cluster.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "cost/cost_model.h"
 #include "globalplan/global_plan.h"
 #include "plan/enumerator.h"
@@ -33,6 +34,12 @@ struct PlannerContext {
   CostModel* model = nullptr;
   GlobalPlan* global_plan = nullptr;
   PlanEnumerator* enumerator = nullptr;
+  // When set (and the cost model supports concurrent queries), candidate
+  // plans are dry-run-evaluated on this pool. EvaluatePlan is const and
+  // results land in index-addressed slots before the serial Score pass, so
+  // any pool size — including 1, which runs inline — produces the exact
+  // PlanChoice of the serial path.
+  ThreadPool* scoring_pool = nullptr;
 };
 
 struct PlanChoice {
@@ -77,14 +84,26 @@ class OnlinePlanner {
                             const SharingPlan& /*plan*/,
                             const GlobalPlan::PlanEvaluation& /*eval*/) {}
 
+  // Hash key of the identical-sharing fast path (query + destination).
+  // Virtual so a test can force collisions; the cache verifies the stored
+  // sharing is really identical before reusing its plan, so a collision
+  // degrades to a miss, never to the wrong plan.
+  virtual uint64_t IdenticalKey(const Sharing& sharing) const;
+
   PlannerContext ctx_;
 
  private:
-  uint64_t IdenticalKey(const Sharing& sharing) const;
+  // A previously planned sharing and the plan chosen for it; the sharing
+  // itself is kept so a 64-bit hash collision cannot smuggle in another
+  // query's plan.
+  struct IdenticalEntry {
+    Sharing sharing;
+    SharingPlan plan;
+  };
 
   SharingId next_id_ = 1;
-  // Query (incl. destination) -> plan previously chosen for it.
-  std::unordered_map<uint64_t, SharingPlan> identical_plans_;
+  // IdenticalKey(query incl. destination) -> entry previously chosen.
+  std::unordered_map<uint64_t, IdenticalEntry> identical_plans_;
 };
 
 }  // namespace dsm

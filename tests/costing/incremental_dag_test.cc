@@ -1,0 +1,135 @@
+// IncrementalContainmentIndex must reproduce BuildContainmentDag exactly —
+// identity groups and container lists — after arbitrary interleavings of
+// sharing arrivals and removals. Populations are drawn from small pools of
+// table sets and predicates so identity twins and containment chains
+// actually occur.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "costing/containment_dag.h"
+#include "costing/incremental_containment.h"
+#include "sharing/sharing.h"
+
+namespace dsm {
+namespace {
+
+// The pool: 3 table sets × nested predicate lists (plus a no-predicate
+// variant each), so ContainedIn holds along each chain and IdenticalTo
+// across repeated draws.
+std::vector<Sharing> MakeSharingPool() {
+  std::vector<Sharing> pool;
+  const std::vector<TableSet> tables = {
+      TableSet(0b0011), TableSet(0b0111), TableSet(0b1101)};
+  for (const TableSet ts : tables) {
+    const TableId t = ts.ToVector().front();
+    const Predicate p1{t, 0, CompareOp::kGt, 10.0};
+    const Predicate p2{t, 1, CompareOp::kLt, 99.0};
+    const Predicate p3{t, 2, CompareOp::kEq, 7.0};
+    pool.emplace_back(ts, std::vector<Predicate>{}, 0);
+    pool.emplace_back(ts, std::vector<Predicate>{p1}, 0);
+    pool.emplace_back(ts, std::vector<Predicate>{p1, p2}, 1);
+    pool.emplace_back(ts, std::vector<Predicate>{p1, p2, p3}, 1);
+    pool.emplace_back(ts, std::vector<Predicate>{p3}, 2);
+  }
+  return pool;
+}
+
+void ExpectSameDag(const ContainmentDag& scratch, const ContainmentDag& inc,
+                   int step) {
+  ASSERT_EQ(scratch.identity_group.size(), inc.identity_group.size())
+      << "step " << step;
+  EXPECT_EQ(scratch.identity_group, inc.identity_group) << "step " << step;
+  ASSERT_EQ(scratch.containers.size(), inc.containers.size())
+      << "step " << step;
+  for (size_t i = 0; i < scratch.containers.size(); ++i) {
+    EXPECT_EQ(scratch.containers[i], inc.containers[i])
+        << "step " << step << " sharing index " << i;
+  }
+}
+
+class IncrementalDagTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalDagTest, MatchesScratchUnderChurn) {
+  const std::vector<Sharing> pool = MakeSharingPool();
+  Rng rng(GetParam());
+
+  struct Live {
+    SharingId id;
+    Sharing sharing;
+    double lpc;
+  };
+  std::vector<Live> population;
+  SharingId next_id = 1;
+  IncrementalContainmentIndex index;
+
+  for (int step = 0; step < 200; ++step) {
+    const bool remove = !population.empty() && rng.Bernoulli(0.35);
+    if (remove) {
+      const size_t pick = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(population.size()) - 1));
+      population.erase(population.begin() + static_cast<int64_t>(pick));
+    } else {
+      const Sharing& s = pool[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+      // A few distinct LPC magnitudes so the lpc[i] <= lpc[j] edge
+      // condition cuts both ways, including exact ties.
+      const double lpc =
+          static_cast<double>(rng.UniformInt(1, 4)) * 10.0;
+      population.push_back(Live{next_id++, s, lpc});
+    }
+
+    std::vector<SharingId> ids;
+    std::vector<Sharing> sharings;
+    std::vector<double> lpcs;
+    for (const Live& l : population) {
+      ids.push_back(l.id);
+      sharings.push_back(l.sharing);
+      lpcs.push_back(l.lpc);
+    }
+    const ContainmentDag scratch = BuildContainmentDag(sharings, lpcs);
+    const ContainmentDag inc = index.Update(ids, sharings, lpcs);
+    ExpectSameDag(scratch, inc, step);
+    EXPECT_EQ(index.num_members(), population.size());
+  }
+}
+
+// A changed LPC for a surviving sharing (re-billing after replanning) must
+// not leave stale edges behind: the member is re-indexed.
+TEST_P(IncrementalDagTest, LpcChangeReindexesMember) {
+  const std::vector<Sharing> pool = MakeSharingPool();
+  std::vector<SharingId> ids = {1, 2, 3};
+  std::vector<Sharing> sharings = {pool[1], pool[2], pool[3]};
+  std::vector<double> lpcs = {10.0, 20.0, 30.0};
+
+  IncrementalContainmentIndex index;
+  ExpectSameDag(BuildContainmentDag(sharings, lpcs),
+                index.Update(ids, sharings, lpcs), 0);
+
+  // Invert the LPC order: every containment edge direction flips.
+  lpcs = {30.0, 20.0, 10.0};
+  ExpectSameDag(BuildContainmentDag(sharings, lpcs),
+                index.Update(ids, sharings, lpcs), 1);
+}
+
+TEST_P(IncrementalDagTest, ResetStartsClean) {
+  const std::vector<Sharing> pool = MakeSharingPool();
+  std::vector<SharingId> ids = {1, 2};
+  std::vector<Sharing> sharings = {pool[0], pool[1]};
+  std::vector<double> lpcs = {5.0, 5.0};
+  IncrementalContainmentIndex index;
+  index.Update(ids, sharings, lpcs);
+  index.Reset();
+  EXPECT_EQ(index.num_members(), 0u);
+  ExpectSameDag(BuildContainmentDag(sharings, lpcs),
+                index.Update(ids, sharings, lpcs), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalDagTest,
+                         ::testing::Values(1, 13, 77, 501, 9001));
+
+}  // namespace
+}  // namespace dsm

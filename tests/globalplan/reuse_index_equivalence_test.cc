@@ -1,0 +1,217 @@
+// Equivalence of the indexed reuse lookup with the legacy linear scan:
+// over random predicated workloads with add/remove churn and server
+// liveness flips, two global plans — one with the reuse index, one with
+// set_reuse_index_enabled(false) — must make bit-identical decisions for
+// every candidate plan evaluated.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "cost/default_cost_model.h"
+#include "globalplan/global_plan.h"
+#include "plan/enumerator.h"
+#include "plan/join_graph.h"
+#include "workload/twitter.h"
+
+namespace dsm {
+namespace {
+
+struct TwinRig {
+  Catalog catalog;
+  Cluster cluster;
+  TwitterTables tables;
+  std::unique_ptr<JoinGraph> graph;
+  std::unique_ptr<DefaultCostModel> model;
+  std::unique_ptr<PlanEnumerator> enumerator;
+  std::unique_ptr<GlobalPlan> indexed;
+  std::unique_ptr<GlobalPlan> legacy;
+};
+
+std::unique_ptr<TwinRig> MakeTwinRig() {
+  auto rig = std::make_unique<TwinRig>();
+  const auto tables = BuildTwitterCatalog(&rig->catalog);
+  EXPECT_TRUE(tables.ok());
+  rig->tables = *tables;
+  for (int i = 0; i < 4; ++i) {
+    rig->cluster.AddServer("m" + std::to_string(i));
+  }
+  rig->cluster.PlaceRoundRobin(rig->catalog.num_tables());
+  rig->graph =
+      std::make_unique<JoinGraph>(JoinGraph::FromCatalog(rig->catalog));
+  rig->model =
+      std::make_unique<DefaultCostModel>(&rig->catalog, &rig->cluster);
+  rig->enumerator = std::make_unique<PlanEnumerator>(
+      &rig->catalog, &rig->cluster, rig->graph.get(), rig->model.get(),
+      EnumeratorOptions{});
+  rig->indexed =
+      std::make_unique<GlobalPlan>(&rig->cluster, rig->model.get());
+  rig->legacy =
+      std::make_unique<GlobalPlan>(&rig->cluster, rig->model.get());
+  rig->legacy->set_reuse_index_enabled(false);
+  EXPECT_TRUE(rig->indexed->reuse_index_enabled());
+  EXPECT_FALSE(rig->legacy->reuse_index_enabled());
+  return rig;
+}
+
+void ExpectIdenticalEvaluations(const GlobalPlan::PlanEvaluation& a,
+                                const GlobalPlan::PlanEvaluation& b) {
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.marginal_cost, b.marginal_cost);  // bit-identical, no tolerance
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].state, b.decisions[i].state);
+    EXPECT_EQ(a.decisions[i].reuse_source, b.decisions[i].reuse_source);
+    EXPECT_EQ(a.decisions[i].needs_residual, b.decisions[i].needs_residual);
+    EXPECT_EQ(a.decisions[i].marginal_cost, b.decisions[i].marginal_cost);
+  }
+}
+
+class ReuseIndexEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+// Every candidate plan of a long predicated sequence — over a thousand
+// plans per seed — evaluates identically on both global plans, through
+// add/remove churn and repeated reuse of hot subexpressions.
+TEST_P(ReuseIndexEquivalenceTest, RandomPlansEvaluateIdentically) {
+  auto rig = MakeTwinRig();
+  TwitterSequenceOptions options;
+  options.num_sharings = 120;
+  options.max_predicates = 2;
+  options.frac_with_predicates = 0.5;
+  options.seed = GetParam();
+  const std::vector<Sharing> sequence = GenerateTwitterSequence(
+      rig->catalog, rig->tables, rig->cluster, options);
+
+  Rng rng(GetParam() ^ 0xfeed);
+  std::vector<SharingId> active;
+  SharingId next_id = 1;
+  size_t plans_compared = 0;
+
+  for (const Sharing& sharing : sequence) {
+    if (!active.empty() && rng.Bernoulli(0.25)) {
+      const size_t pick = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(active.size()) - 1));
+      ASSERT_TRUE(rig->indexed->RemoveSharing(active[pick]).ok());
+      ASSERT_TRUE(rig->legacy->RemoveSharing(active[pick]).ok());
+      active.erase(active.begin() + static_cast<int64_t>(pick));
+    }
+
+    const auto plans = rig->enumerator->Enumerate(sharing);
+    ASSERT_TRUE(plans.ok());
+    size_t best = 0;
+    double best_cost = 0.0;
+    for (size_t i = 0; i < plans->size(); ++i) {
+      const GlobalPlan::PlanEvaluation ei =
+          rig->indexed->EvaluatePlan((*plans)[i]);
+      const GlobalPlan::PlanEvaluation el =
+          rig->legacy->EvaluatePlan((*plans)[i]);
+      ExpectIdenticalEvaluations(ei, el);
+      ++plans_compared;
+      if (i == 0 || ei.marginal_cost < best_cost) {
+        best = i;
+        best_cost = ei.marginal_cost;
+      }
+    }
+
+    const auto ai =
+        rig->indexed->AddSharing(next_id, sharing, (*plans)[best]);
+    const auto al = rig->legacy->AddSharing(next_id, sharing, (*plans)[best]);
+    ASSERT_TRUE(ai.ok());
+    ASSERT_TRUE(al.ok());
+    ExpectIdenticalEvaluations(*ai, *al);
+    active.push_back(next_id);
+    ++next_id;
+
+    EXPECT_EQ(rig->indexed->TotalCost(), rig->legacy->TotalCost());
+    EXPECT_EQ(rig->indexed->num_alive_views(),
+              rig->legacy->num_alive_views());
+  }
+  EXPECT_GT(plans_compared, 1000u);
+}
+
+// Liveness flips invalidate the best-source cache: after MarkDown the
+// indexed plan must stop proposing reuse from the dead server, and after
+// MarkUp it must propose it again — both matching the legacy scan.
+TEST_P(ReuseIndexEquivalenceTest, LivenessFlipsInvalidateCache) {
+  auto rig = MakeTwinRig();
+  TwitterSequenceOptions options;
+  options.num_sharings = 40;
+  options.max_predicates = 1;
+  options.seed = GetParam() ^ 0xdead;
+  const std::vector<Sharing> sequence = GenerateTwitterSequence(
+      rig->catalog, rig->tables, rig->cluster, options);
+
+  SharingId next_id = 1;
+  Rng rng(GetParam());
+  for (const Sharing& sharing : sequence) {
+    // Random liveness churn on a non-home-critical server.
+    if (rng.Bernoulli(0.2)) {
+      const ServerId victim =
+          static_cast<ServerId>(rng.UniformInt(0, 3));
+      if (rig->cluster.is_up(victim) &&
+          rig->cluster.num_live_servers() > 2) {
+        ASSERT_TRUE(rig->cluster.MarkDown(victim).ok());
+      } else if (!rig->cluster.is_up(victim)) {
+        ASSERT_TRUE(rig->cluster.MarkUp(victim).ok());
+      }
+    }
+    const auto plans = rig->enumerator->Enumerate(sharing);
+    ASSERT_TRUE(plans.ok());
+    for (const SharingPlan& plan : *plans) {
+      ExpectIdenticalEvaluations(rig->indexed->EvaluatePlan(plan),
+                                 rig->legacy->EvaluatePlan(plan));
+    }
+    const auto ai = rig->indexed->AddSharing(next_id, sharing,
+                                             plans->front());
+    const auto al = rig->legacy->AddSharing(next_id, sharing,
+                                            plans->front());
+    ASSERT_TRUE(ai.ok());
+    ASSERT_TRUE(al.ok());
+    ExpectIdenticalEvaluations(*ai, *al);
+    ++next_id;
+  }
+  // Restore liveness for symmetry.
+  for (ServerId s = 0; s < 4; ++s) {
+    if (!rig->cluster.is_up(s)) ASSERT_TRUE(rig->cluster.MarkUp(s).ok());
+  }
+  EXPECT_EQ(rig->indexed->TotalCost(), rig->legacy->TotalCost());
+}
+
+// Flipping the toggle off and back on drops the caches but never changes
+// decisions; the same plan evaluates identically before and after.
+TEST_P(ReuseIndexEquivalenceTest, ToggleFlipKeepsDecisions) {
+  auto rig = MakeTwinRig();
+  TwitterSequenceOptions options;
+  options.num_sharings = 20;
+  options.max_predicates = 2;
+  options.seed = GetParam() ^ 0xbeef;
+  const std::vector<Sharing> sequence = GenerateTwitterSequence(
+      rig->catalog, rig->tables, rig->cluster, options);
+  SharingId next_id = 1;
+  for (const Sharing& sharing : sequence) {
+    const auto plans = rig->enumerator->Enumerate(sharing);
+    ASSERT_TRUE(plans.ok());
+    const GlobalPlan::PlanEvaluation before =
+        rig->indexed->EvaluatePlan(plans->front());
+    rig->indexed->set_reuse_index_enabled(false);
+    const GlobalPlan::PlanEvaluation off =
+        rig->indexed->EvaluatePlan(plans->front());
+    rig->indexed->set_reuse_index_enabled(true);
+    const GlobalPlan::PlanEvaluation after =
+        rig->indexed->EvaluatePlan(plans->front());
+    ExpectIdenticalEvaluations(before, off);
+    ExpectIdenticalEvaluations(before, after);
+    ASSERT_TRUE(
+        rig->indexed->AddSharing(next_id, sharing, plans->front()).ok());
+    ++next_id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReuseIndexEquivalenceTest,
+                         ::testing::Values(3, 17, 91, 257));
+
+}  // namespace
+}  // namespace dsm

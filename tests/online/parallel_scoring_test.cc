@@ -1,0 +1,210 @@
+// Parallel candidate scoring must be invisible in the results: for pool
+// sizes {1, 2, 8} every PlanChoice of a planning run — chosen plan, score,
+// marginal cost — is byte-identical to the serial (no pool) run. Also the
+// identical-plan fast path's collision regression: a forced 64-bit key
+// collision must degrade to a cache miss, never reuse another query's plan.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "cost/default_cost_model.h"
+#include "globalplan/global_plan.h"
+#include "online/greedy.h"
+#include "online/managed_risk.h"
+#include "online/normalize.h"
+#include "plan/enumerator.h"
+#include "plan/join_graph.h"
+#include "workload/twitter.h"
+
+namespace dsm {
+namespace {
+
+struct Stack {
+  Catalog catalog;
+  Cluster cluster;
+  TwitterTables tables;
+  std::unique_ptr<JoinGraph> graph;
+  std::unique_ptr<DefaultCostModel> model;
+  std::unique_ptr<PlanEnumerator> enumerator;
+  std::unique_ptr<GlobalPlan> global_plan;
+  PlannerContext ctx;
+};
+
+std::unique_ptr<Stack> MakeStack() {
+  auto stack = std::make_unique<Stack>();
+  const auto tables = BuildTwitterCatalog(&stack->catalog);
+  EXPECT_TRUE(tables.ok());
+  stack->tables = *tables;
+  for (int i = 0; i < 4; ++i) {
+    stack->cluster.AddServer("m" + std::to_string(i));
+  }
+  stack->cluster.PlaceRoundRobin(stack->catalog.num_tables());
+  stack->graph =
+      std::make_unique<JoinGraph>(JoinGraph::FromCatalog(stack->catalog));
+  stack->model =
+      std::make_unique<DefaultCostModel>(&stack->catalog, &stack->cluster);
+  stack->enumerator = std::make_unique<PlanEnumerator>(
+      &stack->catalog, &stack->cluster, stack->graph.get(),
+      stack->model.get(), EnumeratorOptions{});
+  stack->global_plan =
+      std::make_unique<GlobalPlan>(&stack->cluster, stack->model.get());
+  stack->ctx = {&stack->catalog,          &stack->cluster,
+                stack->graph.get(),       stack->model.get(),
+                stack->global_plan.get(), stack->enumerator.get()};
+  return stack;
+}
+
+std::vector<Sharing> MakeSequence(const Stack& stack, uint64_t seed) {
+  TwitterSequenceOptions options;
+  options.num_sharings = 40;
+  options.max_predicates = 2;
+  options.seed = seed;
+  return GenerateTwitterSequence(stack.catalog, stack.tables, stack.cluster,
+                                 options);
+}
+
+enum class Algo { kGreedy, kNormalize, kManagedRisk };
+
+std::unique_ptr<OnlinePlanner> MakePlanner(Algo algo,
+                                           const PlannerContext& ctx) {
+  switch (algo) {
+    case Algo::kGreedy:
+      return std::make_unique<GreedyPlanner>(ctx);
+    case Algo::kNormalize:
+      return std::make_unique<NormalizePlanner>(ctx);
+    case Algo::kManagedRisk:
+      return std::make_unique<ManagedRiskPlanner>(ctx);
+  }
+  return nullptr;
+}
+
+struct ChoiceRecord {
+  bool ok = false;
+  SharingId id = 0;
+  std::string plan;
+  double marginal_cost = 0.0;
+  double score = 0.0;
+  size_t plans_considered = 0;
+  bool reused_identical = false;
+};
+
+std::vector<ChoiceRecord> RunWithPool(Algo algo,
+                                      const std::vector<Sharing>& sequence,
+                                      ThreadPool* pool) {
+  auto stack = MakeStack();
+  stack->ctx.scoring_pool = pool;
+  auto planner = MakePlanner(algo, stack->ctx);
+  std::vector<ChoiceRecord> records;
+  for (const Sharing& sharing : sequence) {
+    const auto choice = planner->ProcessSharing(sharing);
+    ChoiceRecord rec;
+    rec.ok = choice.ok();
+    if (choice.ok()) {
+      rec.id = choice->id;
+      rec.plan = choice->plan.ToString(stack->catalog);
+      rec.marginal_cost = choice->marginal_cost;
+      rec.score = choice->score;
+      rec.plans_considered = choice->plans_considered;
+      rec.reused_identical = choice->reused_identical;
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+void ExpectSameRun(const std::vector<ChoiceRecord>& serial,
+                   const std::vector<ChoiceRecord>& pooled,
+                   int pool_size) {
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("pool=" + std::to_string(pool_size) + " sharing #" +
+                 std::to_string(i));
+    EXPECT_EQ(serial[i].ok, pooled[i].ok);
+    EXPECT_EQ(serial[i].id, pooled[i].id);
+    EXPECT_EQ(serial[i].plan, pooled[i].plan);
+    // Bit-identical, not approximately equal: the parallel path must be
+    // invisible.
+    EXPECT_EQ(serial[i].marginal_cost, pooled[i].marginal_cost);
+    EXPECT_EQ(serial[i].score, pooled[i].score);
+    EXPECT_EQ(serial[i].plans_considered, pooled[i].plans_considered);
+    EXPECT_EQ(serial[i].reused_identical, pooled[i].reused_identical);
+  }
+}
+
+class ParallelScoringTest
+    : public ::testing::TestWithParam<std::tuple<Algo, uint64_t>> {};
+
+TEST_P(ParallelScoringTest, PoolSizesMatchSerial) {
+  const auto [algo, seed] = GetParam();
+  const auto seq_stack = MakeStack();
+  const std::vector<Sharing> sequence = MakeSequence(*seq_stack, seed);
+
+  const std::vector<ChoiceRecord> serial =
+      RunWithPool(algo, sequence, nullptr);
+  size_t planned = 0;
+  for (const ChoiceRecord& r : serial) planned += r.ok ? 1 : 0;
+  ASSERT_GT(planned, 0u);
+
+  for (const int pool_size : {1, 2, 8}) {
+    ThreadPoolOptions options;
+    options.num_threads = pool_size;
+    ThreadPool pool(options);
+    ExpectSameRun(serial, RunWithPool(algo, sequence, &pool), pool_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgosAndSeeds, ParallelScoringTest,
+    ::testing::Combine(::testing::Values(Algo::kGreedy, Algo::kNormalize,
+                                         Algo::kManagedRisk),
+                       ::testing::Values(11u, 42u)));
+
+// Forces every sharing onto one identical-plan cache key. The planner must
+// detect that the colliding entries are *not* identical queries and fall
+// back to full planning — reusing the first sharing's plan for a different
+// query would deliver wrong data.
+class CollidingKeyPlanner : public GreedyPlanner {
+ public:
+  explicit CollidingKeyPlanner(PlannerContext context)
+      : GreedyPlanner(context) {}
+
+ protected:
+  uint64_t IdenticalKey(const Sharing&) const override { return 42; }
+};
+
+TEST(IdenticalPlanCollisionTest, CollisionDoesNotReuseWrongPlan) {
+  auto stack = MakeStack();
+  CollidingKeyPlanner planner(stack->ctx);
+
+  const std::vector<Sharing> base =
+      TwitterBaseSharings(stack->tables, stack->cluster);
+  ASSERT_GE(base.size(), 3u);
+
+  // Three pairwise-different queries, all hashed onto key 42.
+  const auto c1 = planner.ProcessSharing(base[0]);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_FALSE(c1->reused_identical);
+
+  const auto c2 = planner.ProcessSharing(base[1]);
+  ASSERT_TRUE(c2.ok());
+  // Key collides with base[0]'s entry, but the stored sharing differs, so
+  // the fast path must not fire.
+  EXPECT_FALSE(c2->reused_identical);
+  EXPECT_NE(c2->plan.ToString(stack->catalog),
+            c1->plan.ToString(stack->catalog));
+
+  // A genuinely identical resubmission still reuses (the collision check
+  // compares real queries, not hashes) — base[1] now owns key 42.
+  const auto c3 = planner.ProcessSharing(base[1]);
+  ASSERT_TRUE(c3.ok());
+  EXPECT_TRUE(c3->reused_identical);
+  EXPECT_EQ(c3->plan.ToString(stack->catalog),
+            c2->plan.ToString(stack->catalog));
+}
+
+}  // namespace
+}  // namespace dsm
