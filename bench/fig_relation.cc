@@ -1,0 +1,284 @@
+// Compact data plane vs legacy row store: end-to-end maintenance
+// throughput and per-kernel micro-benchmarks over wide, string-keyed
+// relations — the workload the compact encoding targets (DESIGN.md §12).
+//
+// The engine sweep replays one pre-generated high-update-rate stream
+// through a chain-join view population twice per cell: once with
+// DeltaEngineOptions::compact_rows (interned tagged slots, flat tuples,
+// pre-hashed bag tables) and once on the legacy
+// std::unordered_map<Tuple,int64_t> store. Join keys are strings, so every
+// legacy probe hashes and compares string bytes while the compact plane
+// memcmps 8-byte slots. The measured join work must be identical in both
+// encodings — it is checked, not assumed.
+//
+// The kernel section times Filter / Project / WithColumnOrder /
+// NaturalJoin in isolation on both encodings over the same bag.
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_report.h"
+#include "common/rng.h"
+#include "maintain/delta_engine.h"
+
+namespace dsm {
+namespace bench {
+namespace {
+
+constexpr int kNumTables = 4;
+constexpr int kKeyDomain = 512;
+
+// Chain tables T0..T3; adjacent tables share one *string* join column.
+// Each table also carries a string payload and a numeric column (the
+// predicate target), making tuples wide: (k_i, k_{i+1}, p_i, v_i).
+Catalog MakeChainCatalog() {
+  Catalog catalog;
+  for (int i = 0; i < kNumTables; ++i) {
+    TableDef def;
+    def.name = "T" + std::to_string(i);
+    for (const int c : {i, i + 1}) {
+      ColumnDef col;
+      col.name = "k" + std::to_string(c);
+      col.distinct_values = kKeyDomain;
+      col.min_value = 0;
+      col.max_value = kKeyDomain;
+      def.columns.push_back(col);
+    }
+    ColumnDef payload;
+    payload.name = "p" + std::to_string(i);
+    payload.distinct_values = 4096;
+    payload.min_value = 0;
+    payload.max_value = 4096;
+    def.columns.push_back(payload);
+    ColumnDef num;
+    num.name = "v" + std::to_string(i);
+    num.distinct_values = 1024;
+    num.min_value = 0;
+    num.max_value = 1024;
+    def.columns.push_back(num);
+    *catalog.AddTable(def);
+  }
+  return catalog;
+}
+
+std::string Key(int64_t id) { return "user-" + std::to_string(id); }
+
+Tuple RandomTuple(Rng* rng) {
+  Tuple t;
+  t.emplace_back(Key(rng->UniformInt(0, kKeyDomain - 1)));
+  t.emplace_back(Key(rng->UniformInt(0, kKeyDomain - 1)));
+  t.emplace_back("payload-" + std::to_string(rng->UniformInt(0, 4095)));
+  t.emplace_back(rng->UniformInt(0, 1023));
+  return t;
+}
+
+struct Workload {
+  std::vector<ViewKey> views;
+  std::vector<TableUpdate> prepopulate;          // untimed bulk load
+  std::vector<std::vector<TableUpdate>> rounds;  // timed batches
+  uint64_t stream_tuples = 0;
+};
+
+Workload MakeWorkload(int num_views, int base_rows, int rounds,
+                      int updates_per_table, uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  for (int v = 0; v < num_views; ++v) {
+    const int lo = static_cast<int>(rng.UniformInt(0, kNumTables - 3));
+    const int hi = lo + 2;  // three-table chain views
+    TableSet tables;
+    for (int t = lo; t <= hi; ++t) tables.Add(static_cast<TableId>(t));
+    std::vector<Predicate> preds;
+    if (v % 2 == 0) {
+      Predicate p;
+      p.table = static_cast<TableId>(rng.UniformInt(lo, hi));
+      p.column = 3;  // the numeric column v_i
+      p.op = CompareOp::kLt;
+      p.value = 768;  // keeps ~3/4 of the operand
+      preds.push_back(p);
+    }
+    w.views.emplace_back(tables, preds);
+  }
+  for (int t = 0; t < kNumTables; ++t) {
+    TableUpdate bulk;
+    bulk.table = static_cast<TableId>(t);
+    for (int i = 0; i < base_rows; ++i) {
+      bulk.inserts.push_back(RandomTuple(&rng));
+    }
+    w.prepopulate.push_back(std::move(bulk));
+  }
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<TableUpdate> round;
+    for (int t = 0; t < kNumTables; ++t) {
+      TableUpdate update;
+      update.table = static_cast<TableId>(t);
+      for (int i = 0; i < updates_per_table; ++i) {
+        const auto& pool = w.prepopulate[static_cast<size_t>(t)].inserts;
+        if (i % 5 == 4 && !pool.empty()) {
+          update.deletes.push_back(pool[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(pool.size()) - 1))]);
+        } else {
+          update.inserts.push_back(RandomTuple(&rng));
+        }
+      }
+      w.stream_tuples += update.inserts.size() + update.deletes.size();
+      round.push_back(std::move(update));
+    }
+    w.rounds.push_back(std::move(round));
+  }
+  return w;
+}
+
+struct CellResult {
+  double seconds = 0.0;
+  uint64_t work = 0;
+};
+
+CellResult RunCell(const Catalog& catalog, const Workload& w,
+                   bool compact_rows) {
+  DeltaEngineOptions options;
+  options.compact_rows = compact_rows;
+  options.pool.num_threads = 1;  // isolate the encoding, not the pool
+  DeltaEngine engine(&catalog, options);
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    if (!engine.RegisterBase(t).ok()) std::abort();
+  }
+  if (!engine.ApplyUpdates(w.prepopulate).ok()) std::abort();
+  for (const ViewKey& key : w.views) {
+    if (!engine.RegisterView(key).ok()) std::abort();
+  }
+  const Timer timer;
+  for (const std::vector<TableUpdate>& round : w.rounds) {
+    if (!engine.ApplyUpdates(round).ok()) std::abort();
+  }
+  CellResult result;
+  result.seconds = timer.Seconds();
+  result.work = engine.work();
+  return result;
+}
+
+// --- kernel micro-benchmarks ------------------------------------------------
+
+Relation MakeKernelRelation(RowEncoding encoding, int rows, uint64_t seed) {
+  Rng rng(seed);
+  Relation rel({"k0", "k1", "p0", "v0"}, encoding);
+  for (int i = 0; i < rows; ++i) rel.Apply(RandomTuple(&rng), 1);
+  return rel;
+}
+
+double TimeKernel(const char* name, RowEncoding encoding, int rows,
+                  int reps) {
+  const Relation rel = MakeKernelRelation(encoding, rows, /*seed=*/1234);
+  // The join probe side shares only the string key column k0.
+  Relation other({"k0", "b1"}, encoding);
+  {
+    Rng rng(5678);
+    for (int i = 0; i < rows; ++i) {
+      other.Apply(Tuple{Value(Key(rng.UniformInt(0, kKeyDomain - 1))),
+                        Value(rng.UniformInt(0, 1023))},
+                  1);
+    }
+  }
+  const std::string kernel(name);
+  const Timer timer;
+  uint64_t sink = 0;
+  for (int r = 0; r < reps; ++r) {
+    if (kernel == "filter") {
+      sink += rel.Filter("v0", CompareOp::kLt, 512).DistinctSize();
+    } else if (kernel == "project") {
+      sink += rel.Project({"k0", "v0"}).DistinctSize();
+    } else if (kernel == "reorder") {
+      sink += rel.WithColumnOrder({"v0", "p0", "k1", "k0"}).DistinctSize();
+    } else {
+      uint64_t work = 0;
+      sink += NaturalJoin(rel, other, &work).DistinctSize();
+    }
+  }
+  if (sink == 0) std::abort();  // kernels must have produced rows
+  return timer.Seconds();
+}
+
+int Main(int argc, char** argv) {
+  BenchReport report("fig_relation", argc, argv);
+  const bool full = FullScale();
+
+  const std::vector<int> rate_scales =  // updates per table per round
+      report.smoke() ? std::vector<int>{8}
+      : full         ? std::vector<int>{32, 128, 512}
+                     : std::vector<int>{32, 128};
+  const int num_views = report.smoke() ? 2 : 8;
+  const int base_rows = report.smoke() ? 200 : full ? 4000 : 1500;
+  const int rounds = report.smoke() ? 2 : 4;
+  const Catalog catalog = MakeChainCatalog();
+
+  std::printf("Compact data plane vs legacy row store "
+              "(string-keyed chain joins over %d tables, %d views, "
+              "%d base rows/table, %d timed rounds)\n\n",
+              kNumTables, num_views, base_rows, rounds);
+  std::printf("%6s %10s %12s %12s %10s\n", "rate", "encoding", "seconds",
+              "tuples/s", "speedup");
+  report.BeginSection("maintenance_encoding");
+
+  for (const int rate : rate_scales) {
+    const Workload w = MakeWorkload(num_views, base_rows, rounds, rate,
+                                    /*seed=*/static_cast<uint64_t>(rate));
+    const CellResult legacy = RunCell(catalog, w, /*compact_rows=*/false);
+    const CellResult compact = RunCell(catalog, w, /*compact_rows=*/true);
+    if (compact.work != legacy.work) std::abort();  // equivalence guard
+    for (const bool is_compact : {false, true}) {
+      const CellResult& cell = is_compact ? compact : legacy;
+      const double speedup = legacy.seconds / cell.seconds;
+      const double tuples_per_sec =
+          static_cast<double>(w.stream_tuples) / cell.seconds;
+      std::printf("%6d %10s %12.4f %12.0f %9.2fx\n", rate,
+                  is_compact ? "compact" : "legacy", cell.seconds,
+                  tuples_per_sec, speedup);
+      obs::JsonValue row = obs::JsonValue::Object();
+      row.Set("updates_per_table_per_round", rate);
+      row.Set("encoding", is_compact ? "compact" : "legacy");
+      row.Set("seconds", cell.seconds);
+      row.Set("stream_tuples", static_cast<double>(w.stream_tuples));
+      row.Set("tuples_per_sec", tuples_per_sec);
+      row.Set("join_work", static_cast<double>(cell.work));
+      row.Set("speedup_vs_legacy", speedup);
+      report.Row(std::move(row));
+    }
+  }
+
+  const int kernel_rows = report.smoke() ? 500 : full ? 40000 : 10000;
+  const int kernel_reps = report.smoke() ? 2 : 10;
+  std::printf("\nRelation kernels (%d rows, %d reps)\n\n", kernel_rows,
+              kernel_reps);
+  std::printf("%10s %12s %12s %10s\n", "kernel", "legacy_s", "compact_s",
+              "speedup");
+  report.BeginSection("relation_kernels");
+  for (const char* kernel : {"filter", "project", "reorder", "join"}) {
+    const double legacy_s =
+        TimeKernel(kernel, RowEncoding::kLegacy, kernel_rows, kernel_reps);
+    const double compact_s =
+        TimeKernel(kernel, RowEncoding::kCompact, kernel_rows, kernel_reps);
+    std::printf("%10s %12.4f %12.4f %9.2fx\n", kernel, legacy_s, compact_s,
+                legacy_s / compact_s);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("kernel", kernel);
+    row.Set("rows", kernel_rows);
+    row.Set("reps", kernel_reps);
+    row.Set("legacy_seconds", legacy_s);
+    row.Set("compact_seconds", compact_s);
+    row.Set("speedup_vs_legacy", legacy_s / compact_s);
+    report.Row(std::move(row));
+  }
+
+  std::printf("\n(speedup: legacy seconds / same-cell seconds; join work "
+              "checked identical across encodings)\n");
+  return report.Finish();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dsm
+
+int main(int argc, char** argv) { return dsm::bench::Main(argc, argv); }

@@ -1,7 +1,10 @@
 #include "maintain/delta_engine.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "maintain/tuple_store.h"
+#include "maintain/value_dict.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -15,6 +18,36 @@ std::vector<std::string> TableColumnNames(const Catalog& catalog,
     names.push_back(col.name);
   }
   return names;
+}
+
+// Mirrors the compact data plane's global stats into the metrics registry.
+// The stats are cumulative process-wide atomics; counters get the delta
+// since the last export (monotone guard keeps concurrent engines from
+// double-counting), gauges get the current value.
+void ExportTupleStoreMetrics() {
+#ifndef DSM_DISABLE_TELEMETRY
+  const TupleStoreStats& stats = TupleStoreStats::Global();
+  static std::atomic<uint64_t> last_probes{0};
+  static std::atomic<uint64_t> last_rehashes{0};
+  const uint64_t probes = stats.probes.load(std::memory_order_relaxed);
+  const uint64_t rehashes = stats.rehashes.load(std::memory_order_relaxed);
+  const uint64_t prev_probes =
+      last_probes.exchange(probes, std::memory_order_relaxed);
+  const uint64_t prev_rehashes =
+      last_rehashes.exchange(rehashes, std::memory_order_relaxed);
+  if (probes > prev_probes) {
+    DSM_METRIC_COUNTER_ADD("dsm.maintain.bag_probes", probes - prev_probes);
+  }
+  if (rehashes > prev_rehashes) {
+    DSM_METRIC_COUNTER_ADD("dsm.maintain.bag_rehashes",
+                           rehashes - prev_rehashes);
+  }
+  DSM_METRIC_GAUGE_SET("dsm.maintain.dict_entries",
+                       ValueDict::Global().num_entries());
+  DSM_METRIC_GAUGE_SET(
+      "dsm.maintain.resident_bytes",
+      stats.resident_bytes.load(std::memory_order_relaxed));
+#endif  // DSM_DISABLE_TELEMETRY
 }
 
 }  // namespace
@@ -33,7 +66,8 @@ Status DeltaEngine::RegisterBase(TableId table) {
   if (bases_.count(table) != 0) {
     return Status::AlreadyExists("base table already registered");
   }
-  bases_.emplace(table, Relation(TableColumnNames(*catalog_, table)));
+  bases_.emplace(table, Relation(TableColumnNames(*catalog_, table),
+                                 row_encoding()));
   return Status::OK();
 }
 
@@ -215,9 +249,9 @@ uint64_t DeltaEngine::MaintainView(ViewId id, TableId table,
     result = result.Project(view.projection);
   }
   result = result.WithColumnOrder(view.contents.columns());
-  for (const auto& [tuple, count] : result.rows()) {
-    view.contents.Apply(tuple, count);
-  }
+  // Same schema and order: in compact mode the merge transfers the stored
+  // row hashes — no tuple is rehashed on its way into the view.
+  view.contents.ApplyAll(result);
   return local_work;
 }
 
@@ -260,9 +294,7 @@ Status DeltaEngine::PropagateDelta(TableId table, const Relation& delta) {
 
 void DeltaEngine::MergeDelta(TableId table, const Relation& delta) {
   Relation& base = bases_.at(table);
-  for (const auto& [tuple, count] : delta.rows()) {
-    base.Apply(tuple, count);  // also patches the base's indexes
-  }
+  base.ApplyAll(delta);  // also patches the base's indexes
   // Patch every cached filtered operand over this table — including those
   // of inactive views, whose caches must stay consistent with the base for
   // re-admission.
@@ -272,9 +304,7 @@ void DeltaEngine::MergeDelta(TableId table, const Relation& delta) {
     Relation scratch;
     const Relation& filtered =
         ApplyTablePredicates(view.key, table, delta, &scratch);
-    for (const auto& [tuple, count] : filtered.rows()) {
-      op.filtered->Apply(tuple, count);
-    }
+    op.filtered->ApplyAll(filtered);
     DSM_METRIC_COUNTER_ADD("dsm.maintain.operand_cache_patches", 1);
   }
 }
@@ -290,12 +320,13 @@ Status DeltaEngine::ApplyUpdate(TableId table,
                          inserts.size() + deletes.size());
 
   // The signed delta relation ΔT.
-  Relation delta(base_it->second.columns());
+  Relation delta(base_it->second.columns(), row_encoding());
   for (const Tuple& t : inserts) delta.Apply(t, +1);
   for (const Tuple& t : deletes) delta.Apply(t, -1);
 
   DSM_RETURN_IF_ERROR(PropagateDelta(table, delta));
   MergeDelta(table, delta);
+  ExportTupleStoreMetrics();
   return Status::OK();
 }
 
@@ -314,7 +345,8 @@ Status DeltaEngine::ApplyUpdates(std::span<const TableUpdate> updates) {
     DSM_METRIC_COUNTER_ADD("dsm.maintain.delta_tuples",
                            update.inserts.size() + update.deletes.size());
     auto [it, inserted] = deltas.try_emplace(
-        update.table, Relation(bases_.at(update.table).columns()));
+        update.table,
+        Relation(bases_.at(update.table).columns(), row_encoding()));
     if (!inserted) {
       DSM_METRIC_COUNTER_ADD("dsm.maintain.batch_coalesced", 1);
     }
@@ -326,6 +358,7 @@ Status DeltaEngine::ApplyUpdates(std::span<const TableUpdate> updates) {
     DSM_RETURN_IF_ERROR(PropagateDelta(table, delta));
     MergeDelta(table, delta);
   }
+  ExportTupleStoreMetrics();
   return Status::OK();
 }
 
@@ -337,7 +370,7 @@ Status DeltaEngine::SetViewActive(ViewId id, bool active) {
   if (view.active == active) return Status::OK();
   if (!active) {
     // The machine holding the view is gone; so are its contents.
-    view.contents = Relation(view.contents.columns());
+    view.contents = Relation(view.contents.columns(), row_encoding());
     view.active = false;
     return Status::OK();
   }

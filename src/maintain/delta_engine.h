@@ -59,6 +59,11 @@ struct DeltaEngineOptions {
   // Disabling falls back to re-filtering every base table per update (the
   // pre-cache behavior; kept for benchmarking the cache's effect).
   bool operand_cache = true;
+  // Store relations in the compact columnar encoding (interned tagged
+  // slots, flat tuples, pre-hashed bag tables — DESIGN.md §12). Disabling
+  // falls back to the legacy std::unordered_map<Tuple, int64_t> row store;
+  // results and work counters are bit-identical either way.
+  bool compact_rows = true;
 };
 
 class DeltaEngine {
@@ -124,6 +129,11 @@ class DeltaEngine {
   const DeltaEngineOptions& options() const { return options_; }
   // Materialized (view, table) operand caches built so far.
   size_t num_cached_operands() const { return operands_.size(); }
+  // The row encoding this engine's relations use.
+  RowEncoding row_encoding() const {
+    return options_.compact_rows ? RowEncoding::kCompact
+                                 : RowEncoding::kLegacy;
+  }
 
  private:
   // One probe step of a view's delta-propagation join pipeline.

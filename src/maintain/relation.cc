@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace dsm {
 namespace {
 
-// Column bookkeeping shared by both NaturalJoin overloads.
+// Column bookkeeping shared by all NaturalJoin paths.
 struct JoinShape {
   std::vector<int> shared_a;  // positions in a of the join columns
   std::vector<int> shared_b;  // positions in b of the join columns
@@ -39,7 +40,33 @@ Tuple ProjectKey(const Tuple& tuple, const std::vector<int>& positions) {
   return key;
 }
 
+void GatherSlots(const Slot* row, const std::vector<int>& positions,
+                 Slot* out) {
+  for (size_t i = 0; i < positions.size(); ++i) {
+    out[i] = row[static_cast<size_t>(positions[i])];
+  }
+}
+
 }  // namespace
+
+Relation::Relation(std::vector<std::string> column_names,
+                   RowEncoding encoding)
+    : columns_(std::move(column_names)), encoding_(encoding) {
+  if (encoding_ == RowEncoding::kCompact) {
+    store_ = std::make_shared<TupleStore>(
+        static_cast<uint32_t>(columns_.size()));
+  }
+}
+
+TupleStore* Relation::MutableStore() {
+  // Copy-on-write: relations that merely returned the bag unchanged (no-op
+  // filters, unpredicated operand caches) share one store; the deep copy
+  // happens only when a sharer mutates.
+  if (store_.use_count() > 1) {
+    store_ = std::make_shared<TupleStore>(*store_);
+  }
+  return store_.get();
+}
 
 int Relation::FindColumn(const std::string& name) const {
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -48,36 +75,97 @@ int Relation::FindColumn(const std::string& name) const {
   return -1;
 }
 
+Relation Relation::WithEncoding(RowEncoding encoding) const {
+  if (encoding == encoding_) return *this;
+  Relation out(columns_, encoding);
+  ForEachRow([&out](const Tuple& tuple, int64_t count) {
+    out.Apply(tuple, count);
+  });
+  return out;
+}
+
 void Relation::Apply(const Tuple& tuple, int64_t delta) {
   if (delta == 0) return;
-  const auto it = rows_.find(tuple);
-  if (it == rows_.end()) {
-    rows_.emplace(tuple, delta);
-  } else {
-    it->second += delta;
-    if (it->second == 0) rows_.erase(it);
+  if (encoding_ == RowEncoding::kLegacy) {
+    const auto it = rows_.find(tuple);
+    if (it == rows_.end()) {
+      rows_.emplace(tuple, delta);
+    } else {
+      it->second += delta;
+      if (it->second == 0) rows_.erase(it);
+    }
+    PatchIndexesLegacy(tuple, delta);
+    return;
   }
+  Slot stack_buf[16];
+  std::vector<Slot> heap_buf;
+  Slot* slots = stack_buf;
+  if (tuple.size() > 16) {
+    heap_buf.resize(tuple.size());
+    slots = heap_buf.data();
+  }
+  ValueDict& dict = ValueDict::Global();
+  for (size_t i = 0; i < tuple.size(); ++i) slots[i] = dict.Encode(tuple[i]);
+  ApplyEncoded(slots, HashTupleSlots(slots, tuple.size()), delta);
+}
+
+void Relation::ApplyEncoded(const Slot* slots, uint64_t hash,
+                            int64_t delta) {
+  if (delta == 0) return;
+  const uint32_t row = MutableStore()->Apply(slots, hash, delta);
+  if (!indexes_.empty()) PatchIndexesEncoded(slots, row, delta);
+}
+
+void Relation::ApplyAll(const Relation& src) {
+  if (encoding_ == RowEncoding::kCompact &&
+      src.encoding_ == RowEncoding::kCompact) {
+    assert(src.columns_ == columns_ && "ApplyAll requires matching schemas");
+    const TupleStore& from = *src.store_;
+    from.ForEachLive([&](uint32_t r) {
+      // Same schema, same global hash function: the stored hash transfers.
+      ApplyEncoded(from.row_slots(r), from.row_hash(r), from.row_count(r));
+    });
+    return;
+  }
+  src.ForEachRow(
+      [this](const Tuple& tuple, int64_t count) { Apply(tuple, count); });
+}
+
+void Relation::PatchIndexesLegacy(const Tuple& tuple, int64_t delta) {
   for (const auto& index : indexes_) {
-    PatchIndex(index.get(), tuple, delta);
+    Tuple key = ProjectKey(tuple, index->key_positions);
+    auto& bucket = index->buckets[std::move(key)];
+    bool patched = false;
+    for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+      if (it->first != tuple) continue;
+      it->second += delta;
+      if (it->second == 0) {
+        bucket.erase(it);
+        if (bucket.empty()) {
+          index->buckets.erase(ProjectKey(tuple, index->key_positions));
+        }
+      }
+      patched = true;
+      break;
+    }
+    if (!patched) bucket.emplace_back(tuple, delta);
   }
 }
 
-void Relation::PatchIndex(JoinIndex* index, const Tuple& tuple,
-                          int64_t delta) {
-  Tuple key = ProjectKey(tuple, index->key_positions);
-  auto& bucket = index->buckets[std::move(key)];
-  for (auto it = bucket.begin(); it != bucket.end(); ++it) {
-    if (it->first != tuple) continue;
-    it->second += delta;
-    if (it->second == 0) {
-      bucket.erase(it);
-      if (bucket.empty()) {
-        index->buckets.erase(ProjectKey(tuple, index->key_positions));
-      }
+void Relation::PatchIndexesEncoded(const Slot* slots, uint32_t row,
+                                   int64_t delta) {
+  Slot key_buf[16];
+  std::vector<Slot> heap_buf;
+  for (const auto& index : indexes_) {
+    const size_t k = index->key_positions.size();
+    Slot* key = key_buf;
+    if (k > 16) {
+      heap_buf.resize(k);
+      key = heap_buf.data();
     }
-    return;
+    GatherSlots(slots, index->key_positions, key);
+    index->slot_index->Patch(key, HashTupleSlots(key, k), row, delta);
   }
-  bucket.emplace_back(tuple, delta);
 }
 
 const Relation::JoinIndex* Relation::EnsureIndex(
@@ -91,12 +179,29 @@ const Relation::JoinIndex* Relation::EnsureIndex(
     assert(pos >= 0 && "index key column not in schema");
     index->key_positions.push_back(pos);
   }
-  for (const auto& [tuple, count] : rows_) {
-    index->buckets[ProjectKey(tuple, index->key_positions)].emplace_back(
-        tuple, count);
-  }
+  BuildIndex(index.get());
   indexes_.push_back(std::move(index));
   return indexes_.back().get();
+}
+
+void Relation::BuildIndex(JoinIndex* index) const {
+  if (encoding_ == RowEncoding::kLegacy) {
+    for (const auto& [tuple, count] : rows_) {
+      index->buckets[ProjectKey(tuple, index->key_positions)].emplace_back(
+          tuple, count);
+    }
+    return;
+  }
+  const size_t k = index->key_positions.size();
+  index->slot_index = std::make_unique<SlotKeyIndex>(
+      static_cast<uint32_t>(k));
+  std::vector<Slot> key(k);
+  const TupleStore& st = *store_;
+  st.ForEachLive([&](uint32_t r) {
+    GatherSlots(st.row_slots(r), index->key_positions, key.data());
+    index->slot_index->Patch(key.data(), HashTupleSlots(key.data(), k), r,
+                             st.row_count(r));
+  });
 }
 
 const Relation::JoinIndex* Relation::FindIndex(
@@ -108,33 +213,96 @@ const Relation::JoinIndex* Relation::FindIndex(
 }
 
 int64_t Relation::Count(const Tuple& tuple) const {
-  const auto it = rows_.find(tuple);
-  return it == rows_.end() ? 0 : it->second;
+  if (encoding_ == RowEncoding::kLegacy) {
+    const auto it = rows_.find(tuple);
+    return it == rows_.end() ? 0 : it->second;
+  }
+  Slot stack_buf[16];
+  std::vector<Slot> heap_buf;
+  Slot* slots = stack_buf;
+  if (tuple.size() > 16) {
+    heap_buf.resize(tuple.size());
+    slots = heap_buf.data();
+  }
+  const ValueDict& dict = ValueDict::Global();
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    // Lookup only: probing for a never-interned value cannot match any row
+    // and must not grow the dictionary.
+    if (!dict.Find(tuple[i], &slots[i])) return 0;
+  }
+  return store_->Count(slots, HashTupleSlots(slots, tuple.size()));
 }
 
 int64_t Relation::TotalSize() const {
   int64_t total = 0;
-  for (const auto& [tuple, count] : rows_) total += count;
+  if (encoding_ == RowEncoding::kLegacy) {
+    for (const auto& [tuple, count] : rows_) total += count;
+  } else {
+    store_->ForEachLive(
+        [&](uint32_t r) { total += store_->row_count(r); });
+  }
   return total;
 }
 
 bool Relation::BagEquals(const Relation& other) const {
-  if (rows_.size() != other.rows_.size()) return false;
-  for (const auto& [tuple, count] : rows_) {
-    if (other.Count(tuple) != count) return false;
+  if (DistinctSize() != other.DistinctSize()) return false;
+  if (encoding_ == RowEncoding::kCompact &&
+      other.encoding_ == RowEncoding::kCompact) {
+    if (store_ == other.store_) return true;  // shared bag
+    if (store_->arity() != other.store_->arity()) {
+      return DistinctSize() == 0;
+    }
+    const TupleStore& st = *store_;
+    const TupleStore& ot = *other.store_;
+    bool equal = true;
+    st.ForEachLive([&](uint32_t r) {
+      if (!equal) return;
+      if (ot.Count(st.row_slots(r), st.row_hash(r)) != st.row_count(r)) {
+        equal = false;
+      }
+    });
+    return equal;
   }
-  return true;
+  bool equal = true;
+  ForEachRow([&](const Tuple& tuple, int64_t count) {
+    if (equal && other.Count(tuple) != count) equal = false;
+  });
+  return equal;
 }
 
 Relation Relation::Filter(const std::string& column, CompareOp op,
                           double constant) const {
   const int idx = FindColumn(column);
-  if (idx < 0) return *this;
-  Relation out(columns_);
-  for (const auto& [tuple, count] : rows_) {
-    if (ValueSatisfies(tuple[static_cast<size_t>(idx)], op, constant)) {
-      out.Apply(tuple, count);
+  if (idx < 0) {
+    // Unknown column: the bag is returned unchanged. In compact mode the
+    // copy shares the row store — no rows are touched.
+    return *this;
+  }
+  if (encoding_ == RowEncoding::kLegacy) {
+    Relation out(columns_, RowEncoding::kLegacy);
+    for (const auto& [tuple, count] : rows_) {
+      if (ValueSatisfies(tuple[static_cast<size_t>(idx)], op, constant)) {
+        out.Apply(tuple, count);
+      }
     }
+    return out;
+  }
+  // Columnar kernel: pass 1 scans one column of slots and collects
+  // surviving row ids; pass 2 copies the flat rows. The schema is
+  // unchanged, so every surviving row keeps its stored hash.
+  const TupleStore& st = *store_;
+  std::vector<uint32_t> keep;
+  keep.reserve(st.live_rows());
+  st.ForEachLive([&](uint32_t r) {
+    if (SlotSatisfies(st.row_slots(r)[idx], op, constant)) {
+      keep.push_back(r);
+    }
+  });
+  Relation out(columns_, RowEncoding::kCompact);
+  TupleStore* dst = out.store_.get();
+  dst->Reserve(keep.size());
+  for (const uint32_t r : keep) {
+    dst->Apply(st.row_slots(r), st.row_hash(r), st.row_count(r));
   }
   return out;
 }
@@ -147,15 +315,31 @@ Relation Relation::WithColumnOrder(
     source[i] = FindColumn(columns[i]);
     assert(source[i] >= 0 && "target schema is not a permutation");
   }
-  Relation out(columns);
-  for (const auto& [tuple, count] : rows_) {
-    Tuple reordered;
-    reordered.reserve(columns.size());
-    for (const int idx : source) {
-      reordered.push_back(tuple[static_cast<size_t>(idx)]);
+  if (encoding_ == RowEncoding::kLegacy) {
+    Relation out(columns, RowEncoding::kLegacy);
+    for (const auto& [tuple, count] : rows_) {
+      Tuple reordered;
+      reordered.reserve(columns.size());
+      for (const int idx : source) {
+        reordered.push_back(tuple[static_cast<size_t>(idx)]);
+      }
+      out.Apply(reordered, count);
     }
-    out.Apply(reordered, count);
+    return out;
   }
+  // Position-remap loop over flat slots; no decoding, no per-row
+  // allocation. Permuted slots hash differently, so hashes are recomputed.
+  Relation out(columns, RowEncoding::kCompact);
+  const TupleStore& st = *store_;
+  TupleStore* dst = out.store_.get();
+  dst->Reserve(st.live_rows());
+  std::vector<Slot> scratch(columns.size());
+  st.ForEachLive([&](uint32_t r) {
+    GatherSlots(st.row_slots(r), source, scratch.data());
+    dst->Apply(scratch.data(),
+               HashTupleSlots(scratch.data(), scratch.size()),
+               st.row_count(r));
+  });
   return out;
 }
 
@@ -168,15 +352,30 @@ Relation Relation::Project(const std::vector<std::string>& columns) const {
     source.push_back(idx);
     kept.push_back(name);
   }
-  Relation out(std::move(kept));
-  for (const auto& [tuple, count] : rows_) {
-    Tuple projected;
-    projected.reserve(source.size());
-    for (const int idx : source) {
-      projected.push_back(tuple[static_cast<size_t>(idx)]);
+  if (encoding_ == RowEncoding::kLegacy) {
+    Relation out(std::move(kept), RowEncoding::kLegacy);
+    for (const auto& [tuple, count] : rows_) {
+      Tuple projected;
+      projected.reserve(source.size());
+      for (const int idx : source) {
+        projected.push_back(tuple[static_cast<size_t>(idx)]);
+      }
+      out.Apply(projected, count);
     }
-    out.Apply(projected, count);
+    return out;
   }
+  Relation out(std::move(kept), RowEncoding::kCompact);
+  const TupleStore& st = *store_;
+  TupleStore* dst = out.store_.get();
+  dst->Reserve(st.live_rows());
+  std::vector<Slot> scratch(source.size());
+  st.ForEachLive([&](uint32_t r) {
+    GatherSlots(st.row_slots(r), source, scratch.data());
+    // Collapsing projections merge multiplicities inside Apply.
+    dst->Apply(scratch.data(),
+               HashTupleSlots(scratch.data(), scratch.size()),
+               st.row_count(r));
+  });
   return out;
 }
 
@@ -194,12 +393,12 @@ std::vector<std::string> SharedJoinColumns(
 
 namespace {
 
-// Probe loop shared by both overloads: `buckets` maps a key projection of
-// b to its (row, count) pairs.
+// Legacy probe loop shared by the transient and prebuilt index paths:
+// `buckets` maps a key projection of b to its (row, count) pairs.
 template <typename Buckets>
-Relation ProbeJoin(const Relation& a, const JoinShape& shape,
-                   const Buckets& buckets, uint64_t* work) {
-  Relation out(shape.out_columns);
+Relation ProbeJoinLegacy(const Relation& a, const JoinShape& shape,
+                         const Buckets& buckets, uint64_t* work) {
+  Relation out(shape.out_columns, RowEncoding::kLegacy);
   for (const auto& [ta, ca] : a.rows()) {
     const auto it = buckets.find(ProjectKey(ta, shape.shared_a));
     if (it == buckets.end()) continue;
@@ -215,10 +414,81 @@ Relation ProbeJoin(const Relation& a, const JoinShape& shape,
   return out;
 }
 
+// Compact probe loop: keys are pre-hashed slot projections, output rows
+// are flat slot copies. `b_index` is either a transient index built here
+// or a persistent one patched by b's Apply. Work accounting (pairs
+// probed) matches the legacy loop exactly: which tuple pairs meet is a
+// property of the bags, not the encoding.
+Relation ProbeJoinCompact(const Relation& a, const Relation& b,
+                          const JoinShape& shape,
+                          const SlotKeyIndex& b_index, uint64_t* work) {
+  const TupleStore& sa = a.store();
+  const TupleStore& sb = b.store();
+  const size_t key_arity = shape.shared_a.size();
+  const size_t a_arity = a.columns().size();
+  const size_t out_arity = shape.out_columns.size();
+
+  Relation out(shape.out_columns, RowEncoding::kCompact);
+  // Writing through the private store would need friendship; ApplyEncoded
+  // on a fresh relation has no indexes to patch, so it is equivalent.
+  std::vector<Slot> key(key_arity);
+  std::vector<Slot> joined(out_arity);
+  uint64_t probes = 0;
+  sa.ForEachLive([&](uint32_t ra) {
+    const Slot* arow = sa.row_slots(ra);
+    GatherSlots(arow, shape.shared_a, key.data());
+    ++probes;
+    const auto* bucket =
+        b_index.Find(key.data(), HashTupleSlots(key.data(), key_arity));
+    if (bucket == nullptr) return;
+    const int64_t ca = sa.row_count(ra);
+    if (a_arity > 0) {
+      std::memcpy(joined.data(), arow, a_arity * sizeof(Slot));
+    }
+    for (const SlotKeyIndex::Entry& e : *bucket) {
+      if (work != nullptr) ++*work;
+      const Slot* brow = sb.row_slots(e.row);
+      for (size_t j = 0; j < shape.b_extra.size(); ++j) {
+        joined[a_arity + j] =
+            brow[static_cast<size_t>(shape.b_extra[j])];
+      }
+      out.ApplyEncoded(joined.data(),
+                       HashTupleSlots(joined.data(), out_arity),
+                       ca * e.count);
+    }
+  });
+  TupleStoreStats::Global().probes.fetch_add(probes,
+                                             std::memory_order_relaxed);
+  return out;
+}
+
+Relation JoinCompact(const Relation& a, const Relation& b,
+                     const JoinShape& shape, uint64_t* work) {
+  // Transient pre-hashed index on b's shared-column projection.
+  const TupleStore& sb = b.store();
+  const size_t key_arity = shape.shared_b.size();
+  SlotKeyIndex index(static_cast<uint32_t>(key_arity));
+  std::vector<Slot> key(key_arity);
+  sb.ForEachLive([&](uint32_t rb) {
+    GatherSlots(sb.row_slots(rb), shape.shared_b, key.data());
+    index.Patch(key.data(), HashTupleSlots(key.data(), key_arity), rb,
+                sb.row_count(rb));
+  });
+  return ProbeJoinCompact(a, b, shape, index, work);
+}
+
 }  // namespace
 
 Relation NaturalJoin(const Relation& a, const Relation& b, uint64_t* work) {
+  if (a.encoding() != b.encoding()) {
+    // Mixed encodings only occur in tests and conversions; join in a's
+    // encoding.
+    return NaturalJoin(a, b.WithEncoding(a.encoding()), work);
+  }
   const JoinShape shape = ComputeJoinShape(a, b);
+  if (a.encoding() == RowEncoding::kCompact) {
+    return JoinCompact(a, b, shape, work);
+  }
   // Transient index on b's shared-column projection; buckets hold
   // (row pointer, count) pairs so each probe is one hash lookup.
   std::unordered_map<Tuple,
@@ -229,7 +499,7 @@ Relation NaturalJoin(const Relation& a, const Relation& b, uint64_t* work) {
     index[ProjectKey(tuple, shape.shared_b)].emplace_back(&tuple, count);
   }
 
-  Relation out(shape.out_columns);
+  Relation out(shape.out_columns, RowEncoding::kLegacy);
   for (const auto& [ta, ca] : a.rows()) {
     const auto it = index.find(ProjectKey(ta, shape.shared_a));
     if (it == index.end()) continue;
@@ -255,7 +525,19 @@ Relation NaturalJoin(const Relation& a, const Relation& b,
     assert(false && "join index key does not match the shared columns");
     return NaturalJoin(a, b, work);
   }
-  return ProbeJoin(a, shape, b_index.buckets, work);
+  if (a.encoding() == RowEncoding::kCompact &&
+      b.encoding() == RowEncoding::kCompact &&
+      b_index.slot_index != nullptr) {
+    return ProbeJoinCompact(a, b, shape, *b_index.slot_index, work);
+  }
+  if (a.encoding() == RowEncoding::kLegacy &&
+      b.encoding() == RowEncoding::kLegacy &&
+      b_index.slot_index == nullptr) {
+    return ProbeJoinLegacy(a, shape, b_index.buckets, work);
+  }
+  // Encoding mismatch between the caller's relations and the index owner:
+  // answer through the index-free path.
+  return NaturalJoin(a, b, work);
 }
 
 }  // namespace dsm

@@ -3,6 +3,19 @@
 // maintenance engine. Negative counts occur only transiently inside delta
 // relations; materialized views and base tables stay non-negative.
 //
+// Two row encodings live behind one interface (DESIGN.md §12):
+//  * kCompact (the default): rows live in a TupleStore — every Value is a
+//    tagged 8-byte slot (maintain/value_dict.h), a tuple is a flat
+//    fixed-width uint64_t array, and the bag table is open addressing over
+//    precomputed row hashes. Copies share the store (copy-on-write), so
+//    returning a relation "unfiltered" or caching an unpredicated operand
+//    costs one shared_ptr. Filter/Project/WithColumnOrder are position-
+//    remap loops over the flat slots; Filter and same-schema merges reuse
+//    the stored hashes outright.
+//  * kLegacy: the original std::unordered_map<Tuple, int64_t> row store,
+//    kept behind the toggle (like operand_cache / reuse_index_enabled) as
+//    the bit-exact reference the compact plane is tested against.
+//
 // A relation can carry persistent equi-join indexes (EnsureIndex): each
 // maps the projection of a row onto a fixed column subset to the rows
 // carrying that key, with multiplicities. Indexes are patched in place by
@@ -20,43 +33,66 @@
 #include <vector>
 
 #include "expr/predicate.h"
+#include "maintain/tuple_store.h"
 #include "maintain/value.h"
+#include "maintain/value_dict.h"
 
 namespace dsm {
+
+enum class RowEncoding : uint8_t {
+  kCompact,
+  kLegacy,
+};
 
 class Relation {
  public:
   // A persistent hash index on the projection of each row onto
-  // `key_columns`. Buckets store (row, count) value pairs — probing never
-  // chases pointers into rows_, so rehashes and erasures there are
-  // harmless. Empty `key_columns` is allowed: every row lands in one
-  // bucket (the cross-product case).
+  // `key_columns`. Empty `key_columns` is allowed: every row lands in one
+  // bucket (the cross-product case). The representation follows the owning
+  // relation's encoding:
+  //  * legacy: buckets store (row, count) value pairs — probing never
+  //    chases pointers into the row map, so rehashes there are harmless.
+  //  * compact: a SlotKeyIndex of (row id, count) entries keyed by
+  //    pre-hashed key slots; row ids stay valid because an index entry
+  //    exists exactly while its row is live in the store.
   struct JoinIndex {
     std::vector<std::string> key_columns;  // names, in b-schema order
     std::vector<int> key_positions;        // same, as column positions
     std::unordered_map<Tuple, std::vector<std::pair<Tuple, int64_t>>,
                        TupleHash>
-        buckets;
+        buckets;                              // legacy owners
+    std::unique_ptr<SlotKeyIndex> slot_index;  // compact owners
   };
 
-  Relation() = default;
-  explicit Relation(std::vector<std::string> column_names)
-      : columns_(std::move(column_names)) {}
+  Relation() : Relation(std::vector<std::string>{}) {}
+  explicit Relation(std::vector<std::string> column_names,
+                    RowEncoding encoding = RowEncoding::kCompact);
 
   // Copies carry rows but not indexes (consumers index what they need);
-  // moves carry both.
+  // moves carry both. A compact copy shares the row store copy-on-write —
+  // the deep copy happens only if one side later mutates.
   Relation(const Relation& other)
-      : columns_(other.columns_), rows_(other.rows_) {}
+      : columns_(other.columns_),
+        encoding_(other.encoding_),
+        rows_(other.rows_),
+        store_(other.store_) {}
   Relation& operator=(const Relation& other) {
     if (this != &other) {
       columns_ = other.columns_;
+      encoding_ = other.encoding_;
       rows_ = other.rows_;
+      store_ = other.store_;
       indexes_.clear();
     }
     return *this;
   }
   Relation(Relation&&) = default;
   Relation& operator=(Relation&&) = default;
+
+  RowEncoding encoding() const { return encoding_; }
+  // The same bag re-encoded (decode + re-intern). Identity when `encoding`
+  // already matches.
+  Relation WithEncoding(RowEncoding encoding) const;
 
   const std::vector<std::string>& columns() const { return columns_; }
   int FindColumn(const std::string& name) const;
@@ -66,14 +102,44 @@ class Relation {
   void Apply(const Tuple& tuple, int64_t delta);
 
   int64_t Count(const Tuple& tuple) const;
-  size_t DistinctSize() const { return rows_.size(); }
+  size_t DistinctSize() const {
+    return encoding_ == RowEncoding::kLegacy ? rows_.size()
+                                             : store_->live_rows();
+  }
   // Σ multiplicities (meaningful for non-negative relations).
   int64_t TotalSize() const;
 
+  // Legacy row map; only meaningful in kLegacy mode. Generic consumers use
+  // ForEachRow, hot paths use the encoded entry points below.
   const std::unordered_map<Tuple, int64_t, TupleHash>& rows() const {
     return rows_;
   }
 
+  // Calls f(const Tuple&, int64_t count) for every distinct row. In
+  // compact mode each row is decoded through the dictionary — fine for
+  // tests, reporting and conversions; hot paths stay on slots.
+  template <typename F>
+  void ForEachRow(F&& f) const {
+    if (encoding_ == RowEncoding::kLegacy) {
+      for (const auto& [tuple, count] : rows_) f(tuple, count);
+      return;
+    }
+    const TupleStore& st = *store_;
+    const ValueDict& dict = ValueDict::Global();
+    const uint32_t arity = st.arity();
+    st.ForEachLive([&](uint32_t r) {
+      Tuple tuple;
+      tuple.reserve(arity);
+      const Slot* slots = st.row_slots(r);
+      for (uint32_t c = 0; c < arity; ++c) {
+        tuple.push_back(dict.Decode(slots[c]));
+      }
+      f(tuple, st.row_count(r));
+    });
+  }
+
+  // True when the two relations hold the same tuple multiset, regardless
+  // of encoding (cross-encoding comparison decodes through the dictionary).
   bool BagEquals(const Relation& other) const;
 
   // Returns the persistent index keyed on `key_columns` (each name must be
@@ -86,7 +152,11 @@ class Relation {
   size_t num_indexes() const { return indexes_.size(); }
 
   // Tuples satisfying `column op constant`; schema unchanged. Columns
-  // absent from the schema leave the relation unfiltered.
+  // absent from the schema leave the relation unfiltered — in compact mode
+  // that path shares the row store instead of deep-copying it. In compact
+  // mode the predicate runs as a columnar kernel: one pass over the
+  // column's slots collects surviving row ids, a second pass copies the
+  // flat rows with their stored hashes (never recomputed).
   Relation Filter(const std::string& column, CompareOp op,
                   double constant) const;
 
@@ -101,18 +171,40 @@ class Relation {
   // dropped from the output schema.
   Relation Project(const std::vector<std::string>& columns) const;
 
+  // --- compact-mode hot-path entry points ----------------------------------
+
+  // The compact row store (compact mode only).
+  const TupleStore& store() const { return *store_; }
+
+  // Apply on already-encoded slots with a precomputed hash
+  // (HashTupleSlots); patches persistent indexes like Apply.
+  void ApplyEncoded(const Slot* slots, uint64_t hash, int64_t delta);
+
+  // Merges every row of `src` (same schema, in this relation's column
+  // order) into this relation. When both sides are compact the stored row
+  // hashes transfer directly — the merge never rehashes a tuple.
+  void ApplyAll(const Relation& src);
+
  private:
-  void PatchIndex(JoinIndex* index, const Tuple& tuple, int64_t delta);
+  TupleStore* MutableStore();
+  void PatchIndexesLegacy(const Tuple& tuple, int64_t delta);
+  void PatchIndexesEncoded(const Slot* slots, uint32_t row, int64_t delta);
+  void BuildIndex(JoinIndex* index) const;
 
   std::vector<std::string> columns_;
-  std::unordered_map<Tuple, int64_t, TupleHash> rows_;
+  RowEncoding encoding_ = RowEncoding::kCompact;
+  std::unordered_map<Tuple, int64_t, TupleHash> rows_;  // legacy mode
+  std::shared_ptr<TupleStore> store_;                   // compact mode
   // unique_ptr for pointer stability across container growth.
   std::vector<std::unique_ptr<JoinIndex>> indexes_;
 };
 
 // Natural join on all shared column names; multiplicities multiply
 // (counting algorithm). `work` is incremented per probed pair, giving the
-// measured-cost counter the cost model's CPU term mirrors.
+// measured-cost counter the cost model's CPU term mirrors. Output and
+// work accounting are identical for both encodings; the compact kernel
+// probes pre-hashed slot buckets and assembles output rows as flat slot
+// copies. Mixed-encoding inputs are joined in `a`'s encoding.
 Relation NaturalJoin(const Relation& a, const Relation& b, uint64_t* work);
 
 // Same join, probing `b_index` — a persistent index on `b` whose key must

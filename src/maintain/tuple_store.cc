@@ -1,0 +1,326 @@
+#include "maintain/tuple_store.h"
+
+#include <cstring>
+#include <utility>
+
+namespace dsm {
+namespace {
+
+constexpr size_t kMinTable = 16;
+
+size_t TableSizeFor(size_t live) {
+  size_t size = kMinTable;
+  while (size < live * 2) size <<= 1;
+  return size;
+}
+
+bool SlotsEqual(const Slot* a, const Slot* b, uint32_t arity) {
+  return arity == 0 ||
+         std::memcmp(a, b, static_cast<size_t>(arity) * sizeof(Slot)) == 0;
+}
+
+}  // namespace
+
+TupleStoreStats& TupleStoreStats::Global() {
+  static TupleStoreStats* stats = new TupleStoreStats();  // never destroyed
+  return *stats;
+}
+
+TupleStore::TupleStore(uint32_t arity) : arity_(arity) {}
+
+TupleStore::TupleStore(const TupleStore& other)
+    : arity_(other.arity_),
+      slots_(other.slots_),
+      hashes_(other.hashes_),
+      counts_(other.counts_),
+      free_(other.free_),
+      table_(other.table_),
+      mask_(other.mask_),
+      live_(other.live_),
+      tombstones_(other.tombstones_) {
+  TupleStoreStats::Global().deep_copies.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  SyncResidentBytes();
+}
+
+TupleStore& TupleStore::operator=(const TupleStore& other) {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  slots_ = other.slots_;
+  hashes_ = other.hashes_;
+  counts_ = other.counts_;
+  free_ = other.free_;
+  table_ = other.table_;
+  mask_ = other.mask_;
+  live_ = other.live_;
+  tombstones_ = other.tombstones_;
+  TupleStoreStats::Global().deep_copies.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  SyncResidentBytes();
+  return *this;
+}
+
+TupleStore::TupleStore(TupleStore&& other) noexcept
+    : arity_(other.arity_),
+      slots_(std::move(other.slots_)),
+      hashes_(std::move(other.hashes_)),
+      counts_(std::move(other.counts_)),
+      free_(std::move(other.free_)),
+      table_(std::move(other.table_)),
+      mask_(other.mask_),
+      live_(other.live_),
+      tombstones_(other.tombstones_),
+      reported_bytes_(other.reported_bytes_) {
+  other.mask_ = 0;
+  other.live_ = 0;
+  other.tombstones_ = 0;
+  other.reported_bytes_ = 0;
+}
+
+TupleStore& TupleStore::operator=(TupleStore&& other) noexcept {
+  if (this == &other) return *this;
+  TupleStoreStats::Global().resident_bytes.fetch_sub(
+      reported_bytes_, std::memory_order_relaxed);
+  arity_ = other.arity_;
+  slots_ = std::move(other.slots_);
+  hashes_ = std::move(other.hashes_);
+  counts_ = std::move(other.counts_);
+  free_ = std::move(other.free_);
+  table_ = std::move(other.table_);
+  mask_ = other.mask_;
+  live_ = other.live_;
+  tombstones_ = other.tombstones_;
+  reported_bytes_ = other.reported_bytes_;
+  other.mask_ = 0;
+  other.live_ = 0;
+  other.tombstones_ = 0;
+  other.reported_bytes_ = 0;
+  return *this;
+}
+
+TupleStore::~TupleStore() {
+  TupleStoreStats::Global().resident_bytes.fetch_sub(
+      reported_bytes_, std::memory_order_relaxed);
+}
+
+size_t TupleStore::HeapBytes() const {
+  return slots_.capacity() * sizeof(Slot) +
+         hashes_.capacity() * sizeof(uint64_t) +
+         counts_.capacity() * sizeof(int64_t) +
+         free_.capacity() * sizeof(uint32_t) +
+         table_.capacity() * sizeof(uint32_t);
+}
+
+void TupleStore::SyncResidentBytes() {
+  const auto bytes = static_cast<int64_t>(HeapBytes());
+  if (bytes == reported_bytes_) return;
+  TupleStoreStats::Global().resident_bytes.fetch_add(
+      bytes - reported_bytes_, std::memory_order_relaxed);
+  reported_bytes_ = bytes;
+}
+
+void TupleStore::Reserve(size_t rows) {
+  slots_.reserve(rows * arity_);
+  hashes_.reserve(rows);
+  counts_.reserve(rows);
+  if (table_.empty() || rows * 4 > table_.size() * 3) Rehash(rows);
+  SyncResidentBytes();
+}
+
+void TupleStore::Rehash(size_t min_live) {
+  const size_t size = TableSizeFor(min_live);
+  table_.assign(size, kEmpty);
+  mask_ = size - 1;
+  tombstones_ = 0;
+  const uint32_t n = physical_rows();
+  for (uint32_t row = 0; row < n; ++row) {
+    if (counts_[row] == 0) continue;
+    // Stored hash: the whole point — a rehash never re-reads slot bytes.
+    size_t i = hashes_[row] & mask_;
+    while (table_[i] != kEmpty) i = (i + 1) & mask_;
+    table_[i] = row;
+  }
+  TupleStoreStats::Global().rehashes.fetch_add(1, std::memory_order_relaxed);
+  SyncResidentBytes();
+}
+
+uint32_t TupleStore::FindRow(const Slot* slots, uint64_t hash) const {
+  if (live_ == 0 || table_.empty()) return kNoRow;
+  size_t i = hash & mask_;
+  while (true) {
+    const uint32_t entry = table_[i];
+    if (entry == kEmpty) return kNoRow;
+    if (entry != kTombstone && hashes_[entry] == hash &&
+        SlotsEqual(row_slots(entry), slots, arity_)) {
+      return entry;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+uint32_t TupleStore::Apply(const Slot* slots, uint64_t hash, int64_t delta) {
+  if (delta == 0) return FindRow(slots, hash);
+  if (table_.empty() || (live_ + tombstones_ + 1) * 4 > table_.size() * 3) {
+    Rehash(live_ + 1);
+  }
+  // Counted at once (not batched) so the exported counter is exact at any
+  // serial point — the run-report goldens depend on it.
+  TupleStoreStats::Global().probes.fetch_add(1, std::memory_order_relaxed);
+
+  size_t i = hash & mask_;
+  size_t insert_at = static_cast<size_t>(-1);
+  while (true) {
+    const uint32_t entry = table_[i];
+    if (entry == kEmpty) {
+      if (insert_at == static_cast<size_t>(-1)) insert_at = i;
+      break;
+    }
+    if (entry == kTombstone) {
+      if (insert_at == static_cast<size_t>(-1)) insert_at = i;
+    } else if (hashes_[entry] == hash &&
+               SlotsEqual(row_slots(entry), slots, arity_)) {
+      counts_[entry] += delta;
+      if (counts_[entry] == 0) {
+        free_.push_back(entry);
+        table_[i] = kTombstone;
+        ++tombstones_;
+        --live_;
+      }
+      return entry;
+    }
+    i = (i + 1) & mask_;
+  }
+
+  uint32_t row;
+  if (!free_.empty()) {
+    row = free_.back();
+    free_.pop_back();
+    if (arity_ > 0) {
+      std::memcpy(slots_.data() + static_cast<size_t>(row) * arity_, slots,
+                  static_cast<size_t>(arity_) * sizeof(Slot));
+    }
+    hashes_[row] = hash;
+    counts_[row] = delta;
+  } else {
+    row = physical_rows();
+    if (arity_ > 0) slots_.insert(slots_.end(), slots, slots + arity_);
+    hashes_.push_back(hash);
+    counts_.push_back(delta);
+    SyncResidentBytes();
+  }
+  if (table_[insert_at] == kTombstone) --tombstones_;
+  table_[insert_at] = row;
+  ++live_;
+  return row;
+}
+
+// --- SlotKeyIndex -----------------------------------------------------------
+
+SlotKeyIndex::SlotKeyIndex(uint32_t key_arity) : key_arity_(key_arity) {}
+
+uint32_t SlotKeyIndex::FindGroup(const Slot* key, uint64_t hash) const {
+  if (live_ == 0 || table_.empty()) return kNoGroup;
+  size_t i = hash & mask_;
+  while (true) {
+    const uint32_t entry = table_[i];
+    if (entry == kEmpty) return kNoGroup;
+    if (entry != kTombstone && hashes_[entry] == hash &&
+        SlotsEqual(keys_.data() + static_cast<size_t>(entry) * key_arity_,
+                   key, key_arity_)) {
+      return entry;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+const std::vector<SlotKeyIndex::Entry>* SlotKeyIndex::Find(
+    const Slot* key, uint64_t hash) const {
+  const uint32_t group = FindGroup(key, hash);
+  return group == kNoGroup ? nullptr : &entries_[group];
+}
+
+void SlotKeyIndex::Rehash(size_t min_live) {
+  const size_t size = TableSizeFor(min_live);
+  table_.assign(size, kEmpty);
+  mask_ = size - 1;
+  tombstones_ = 0;
+  const auto n = static_cast<uint32_t>(entries_.size());
+  for (uint32_t group = 0; group < n; ++group) {
+    if (entries_[group].empty()) continue;
+    size_t i = hashes_[group] & mask_;
+    while (table_[i] != kEmpty) i = (i + 1) & mask_;
+    table_[i] = group;
+  }
+  TupleStoreStats::Global().rehashes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SlotKeyIndex::Patch(const Slot* key, uint64_t hash, uint32_t row,
+                         int64_t delta) {
+  if (delta == 0) return;
+  if (table_.empty() || (live_ + tombstones_ + 1) * 4 > table_.size() * 3) {
+    Rehash(live_ + 1);
+  }
+  size_t i = hash & mask_;
+  size_t insert_at = static_cast<size_t>(-1);
+  uint32_t group = kNoGroup;
+  size_t group_pos = 0;
+  while (true) {
+    const uint32_t entry = table_[i];
+    if (entry == kEmpty) {
+      if (insert_at == static_cast<size_t>(-1)) insert_at = i;
+      break;
+    }
+    if (entry == kTombstone) {
+      if (insert_at == static_cast<size_t>(-1)) insert_at = i;
+    } else if (hashes_[entry] == hash &&
+               SlotsEqual(keys_.data() +
+                              static_cast<size_t>(entry) * key_arity_,
+                          key, key_arity_)) {
+      group = entry;
+      group_pos = i;
+      break;
+    }
+    i = (i + 1) & mask_;
+  }
+
+  if (group == kNoGroup) {
+    if (!free_.empty()) {
+      group = free_.back();
+      free_.pop_back();
+      if (key_arity_ > 0) {
+        std::memcpy(keys_.data() + static_cast<size_t>(group) * key_arity_,
+                    key, static_cast<size_t>(key_arity_) * sizeof(Slot));
+      }
+      hashes_[group] = hash;
+    } else {
+      group = static_cast<uint32_t>(entries_.size());
+      if (key_arity_ > 0) keys_.insert(keys_.end(), key, key + key_arity_);
+      hashes_.push_back(hash);
+      entries_.emplace_back();
+    }
+    if (table_[insert_at] == kTombstone) --tombstones_;
+    table_[insert_at] = group;
+    ++live_;
+    entries_[group].push_back(Entry{row, delta});
+    return;
+  }
+
+  std::vector<Entry>& bucket = entries_[group];
+  for (size_t e = 0; e < bucket.size(); ++e) {
+    if (bucket[e].row != row) continue;
+    bucket[e].count += delta;
+    if (bucket[e].count == 0) {
+      bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(e));
+      if (bucket.empty()) {
+        free_.push_back(group);
+        table_[group_pos] = kTombstone;
+        ++tombstones_;
+        --live_;
+      }
+    }
+    return;
+  }
+  bucket.push_back(Entry{row, delta});
+}
+
+}  // namespace dsm

@@ -1,7 +1,8 @@
 #include "maintain/value.h"
 
 #include <cstdio>
-#include <functional>
+
+#include "common/hash.h"
 
 namespace dsm {
 
@@ -38,22 +39,27 @@ bool ValueSatisfies(const Value& value, CompareOp op, double constant) {
 }
 
 size_t TupleHash::operator()(const Tuple& tuple) const {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  auto mix = [&h](uint64_t v) {
-    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  };
+  // Seeded fnv1a over (alternative tag, payload) pairs with a splitmix64
+  // finisher — the same mix the compact data plane's pre-hashed tables use
+  // (common/hash.h). The tag keeps int64 5 and double 5.0 distinct even
+  // though their payload bits could collide.
+  uint64_t h = kFnv1a64Offset;
   for (const Value& value : tuple) {
     if (const auto* i = std::get_if<int64_t>(&value)) {
-      mix(static_cast<uint64_t>(*i) * 3 + 1);
+      h = HashMix64(h, 1);
+      h = HashMix64(h, static_cast<uint64_t>(*i));
     } else if (const auto* d = std::get_if<double>(&value)) {
       uint64_t bits;
       __builtin_memcpy(&bits, d, sizeof(bits));
-      mix(bits * 3 + 2);
+      h = HashMix64(h, 2);
+      h = HashMix64(h, bits);
     } else {
-      mix(std::hash<std::string>()(std::get<std::string>(value)) * 3);
+      const std::string& s = std::get<std::string>(value);
+      h = HashMix64(h, 3);
+      h = Fnv1a64(s.data(), s.size(), h);
     }
   }
-  return static_cast<size_t>(h);
+  return static_cast<size_t>(HashFinish(h));
 }
 
 }  // namespace dsm

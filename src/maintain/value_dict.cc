@@ -1,0 +1,178 @@
+#include "maintain/value_dict.h"
+
+#include <cmath>
+#include <mutex>
+
+namespace dsm {
+namespace {
+
+uint64_t CanonicalDoubleBits(double d) {
+  if (d == 0.0) d = 0.0;  // -0.0 and +0.0 are equal Values: one slot
+  uint64_t bits;
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double d;
+  __builtin_memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+bool CompareNumeric(double v, CompareOp op, double constant) {
+  switch (op) {
+    case CompareOp::kLt:
+      return v < constant;
+    case CompareOp::kGt:
+      return v > constant;
+    case CompareOp::kEq:
+      return v == constant;
+  }
+  return false;
+}
+
+}  // namespace
+
+ValueDict& ValueDict::Global() {
+  static ValueDict* dict = new ValueDict();  // never destroyed
+  return *dict;
+}
+
+Slot ValueDict::Encode(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) {
+    if (*i >= kInlineIntMin && *i <= kInlineIntMax) {
+      return MakeSlot(SlotTag::kInlineInt, static_cast<uint64_t>(*i));
+    }
+    std::unique_lock lock(mu_);
+    const auto it = wide_ids_.find(*i);
+    if (it != wide_ids_.end()) return MakeSlot(SlotTag::kWideInt, it->second);
+    const uint64_t id = wide_ints_.size();
+    wide_ints_.push_back(*i);
+    wide_ids_.emplace(*i, id);
+    return MakeSlot(SlotTag::kWideInt, id);
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    const uint64_t bits = CanonicalDoubleBits(*d);
+    std::unique_lock lock(mu_);
+    const auto it = double_ids_.find(bits);
+    if (it != double_ids_.end()) return MakeSlot(SlotTag::kDouble, it->second);
+    const uint64_t id = doubles_.size();
+    doubles_.push_back(DoubleFromBits(bits));
+    double_ids_.emplace(bits, id);
+    return MakeSlot(SlotTag::kDouble, id);
+  }
+  const std::string& s = std::get<std::string>(v);
+  {
+    std::shared_lock lock(mu_);
+    const auto it = string_ids_.find(std::string_view(s));
+    if (it != string_ids_.end()) return MakeSlot(SlotTag::kString, it->second);
+  }
+  std::unique_lock lock(mu_);
+  const auto it = string_ids_.find(std::string_view(s));  // lost the race?
+  if (it != string_ids_.end()) return MakeSlot(SlotTag::kString, it->second);
+  const uint64_t id = strings_.size();
+  strings_.push_back(s);
+  string_ids_.emplace(std::string_view(strings_.back()), id);
+  return MakeSlot(SlotTag::kString, id);
+}
+
+bool ValueDict::Find(const Value& v, Slot* out) const {
+  if (const auto* i = std::get_if<int64_t>(&v)) {
+    if (*i >= kInlineIntMin && *i <= kInlineIntMax) {
+      *out = MakeSlot(SlotTag::kInlineInt, static_cast<uint64_t>(*i));
+      return true;
+    }
+    std::shared_lock lock(mu_);
+    const auto it = wide_ids_.find(*i);
+    if (it == wide_ids_.end()) return false;
+    *out = MakeSlot(SlotTag::kWideInt, it->second);
+    return true;
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    std::shared_lock lock(mu_);
+    const auto it = double_ids_.find(CanonicalDoubleBits(*d));
+    if (it == double_ids_.end()) return false;
+    *out = MakeSlot(SlotTag::kDouble, it->second);
+    return true;
+  }
+  const std::string& s = std::get<std::string>(v);
+  std::shared_lock lock(mu_);
+  const auto it = string_ids_.find(std::string_view(s));
+  if (it == string_ids_.end()) return false;
+  *out = MakeSlot(SlotTag::kString, it->second);
+  return true;
+}
+
+Value ValueDict::Decode(Slot s) const {
+  switch (GetSlotTag(s)) {
+    case SlotTag::kInlineInt:
+      return Value(InlineIntValue(s));
+    case SlotTag::kString: {
+      std::shared_lock lock(mu_);
+      return Value(strings_[SlotPayload(s)]);
+    }
+    case SlotTag::kDouble: {
+      std::shared_lock lock(mu_);
+      return Value(doubles_[SlotPayload(s)]);
+    }
+    case SlotTag::kWideInt: {
+      std::shared_lock lock(mu_);
+      return Value(wide_ints_[SlotPayload(s)]);
+    }
+  }
+  return Value(int64_t{0});  // unreachable
+}
+
+bool ValueDict::SlotNumeric(Slot s, double* out) const {
+  switch (GetSlotTag(s)) {
+    case SlotTag::kInlineInt:
+      *out = static_cast<double>(InlineIntValue(s));
+      return true;
+    case SlotTag::kString:
+      return false;
+    case SlotTag::kDouble: {
+      std::shared_lock lock(mu_);
+      *out = doubles_[SlotPayload(s)];
+      return true;
+    }
+    case SlotTag::kWideInt: {
+      std::shared_lock lock(mu_);
+      *out = static_cast<double>(wide_ints_[SlotPayload(s)]);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t ValueDict::num_strings() const {
+  std::shared_lock lock(mu_);
+  return strings_.size();
+}
+
+size_t ValueDict::num_entries() const {
+  std::shared_lock lock(mu_);
+  return strings_.size() + doubles_.size() + wide_ints_.size();
+}
+
+size_t ValueDict::resident_bytes() const {
+  std::shared_lock lock(mu_);
+  // Payload bytes plus one map entry (~4 words with bucket overhead) per
+  // interned value; an estimate, not an allocator audit.
+  constexpr size_t kPerEntry = 4 * sizeof(void*);
+  size_t bytes = 0;
+  for (const std::string& s : strings_) {
+    bytes += sizeof(std::string) + s.capacity() + kPerEntry;
+  }
+  bytes += doubles_.size() * (sizeof(double) + kPerEntry);
+  bytes += wide_ints_.size() * (sizeof(int64_t) + kPerEntry);
+  return bytes;
+}
+
+bool SlotSatisfiesSlow(Slot s, CompareOp op, double constant) {
+  if (GetSlotTag(s) == SlotTag::kString) return false;
+  double v;
+  if (!ValueDict::Global().SlotNumeric(s, &v)) return false;
+  return CompareNumeric(v, op, constant);
+}
+
+}  // namespace dsm

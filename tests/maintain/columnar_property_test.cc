@@ -1,0 +1,210 @@
+// Property tests for the compact columnar data plane (DESIGN.md §12),
+// exercised against both row encodings:
+//  * WithColumnOrder permute -> restore is the identity;
+//  * projection commutes with natural join when the projected-away columns
+//    are not join columns (bag semantics: sums distribute over products);
+//  * BagEquals agrees across encodings;
+//  * the pre-hashed tables stay correct under forced hash collisions
+//    (probe chains, tombstones, row-id recycling);
+//  * Relation::Filter on an absent column shares the row store instead of
+//    copying it, and the first later mutation pays exactly one deep copy.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "maintain/relation.h"
+#include "maintain/tuple_store.h"
+#include "maintain/value_dict.h"
+
+namespace dsm {
+namespace {
+
+constexpr RowEncoding kEncodings[] = {RowEncoding::kCompact,
+                                      RowEncoding::kLegacy};
+
+Value RandomValue(Rng& rng) {
+  switch (rng.UniformInt(0, 3)) {
+    case 0:
+      return Value(rng.UniformInt(-5, 5));
+    case 1:
+      return Value(static_cast<double>(rng.UniformInt(-4, 4)) / 2.0);
+    case 2:
+      return Value(kInlineIntMax + rng.UniformInt(1, 3));  // wide-int path
+    default:
+      return Value("s" + std::to_string(rng.UniformInt(0, 6)));
+  }
+}
+
+std::vector<std::pair<Tuple, int64_t>> RandomBag(Rng& rng, size_t arity,
+                                                 int rows) {
+  std::vector<std::pair<Tuple, int64_t>> bag;
+  for (int i = 0; i < rows; ++i) {
+    Tuple t;
+    for (size_t c = 0; c < arity; ++c) t.push_back(RandomValue(rng));
+    bag.emplace_back(std::move(t), rng.Bernoulli(0.25) ? 2 : 1);
+  }
+  return bag;
+}
+
+Relation Materialize(const std::vector<std::string>& columns,
+                     const std::vector<std::pair<Tuple, int64_t>>& bag,
+                     RowEncoding encoding) {
+  Relation rel(columns, encoding);
+  for (const auto& [tuple, count] : bag) rel.Apply(tuple, count);
+  return rel;
+}
+
+class ColumnarPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ColumnarPropertyTest, PermuteThenRestoreIsIdentity) {
+  Rng rng(GetParam());
+  const std::vector<std::string> columns = {"a", "b", "c", "d"};
+  const auto bag = RandomBag(rng, columns.size(), 60);
+  for (const RowEncoding encoding : kEncodings) {
+    const Relation rel = Materialize(columns, bag, encoding);
+    const std::vector<std::string> permuted = {"c", "a", "d", "b"};
+    const Relation round_trip =
+        rel.WithColumnOrder(permuted).WithColumnOrder(columns);
+    EXPECT_TRUE(round_trip.BagEquals(rel))
+        << "encoding=" << static_cast<int>(encoding);
+    EXPECT_EQ(round_trip.columns(), rel.columns());
+  }
+}
+
+TEST_P(ColumnarPropertyTest, ProjectionCommutesWithJoin) {
+  Rng rng(GetParam());
+  // a(k, a1), b(k, b1): projecting a1 away before or after the join gives
+  // the same bag — sums of multiplicities distribute over the join's
+  // products when the dropped column is not a join column.
+  const auto bag_a = RandomBag(rng, 2, 40);
+  const auto bag_b = RandomBag(rng, 2, 40);
+  for (const RowEncoding encoding : kEncodings) {
+    const Relation a = Materialize({"k", "a1"}, bag_a, encoding);
+    const Relation b = Materialize({"k", "b1"}, bag_b, encoding);
+    uint64_t work_after = 0;
+    const Relation project_after =
+        NaturalJoin(a, b, &work_after).Project({"k", "b1"});
+    uint64_t work_before = 0;
+    const Relation project_before =
+        NaturalJoin(a.Project({"k"}), b, &work_before);
+    EXPECT_TRUE(project_after.BagEquals(project_before))
+        << "encoding=" << static_cast<int>(encoding);
+  }
+}
+
+TEST_P(ColumnarPropertyTest, BagEqualsAgreesAcrossEncodings) {
+  Rng rng(GetParam());
+  const std::vector<std::string> columns = {"x", "y", "z"};
+  const auto bag = RandomBag(rng, columns.size(), 50);
+  const Relation compact = Materialize(columns, bag, RowEncoding::kCompact);
+  const Relation legacy = Materialize(columns, bag, RowEncoding::kLegacy);
+  EXPECT_TRUE(compact.BagEquals(legacy));
+  EXPECT_TRUE(legacy.BagEquals(compact));
+  EXPECT_TRUE(compact.WithEncoding(RowEncoding::kLegacy).BagEquals(compact));
+  EXPECT_TRUE(legacy.WithEncoding(RowEncoding::kCompact).BagEquals(legacy));
+
+  // Any single-tuple perturbation breaks equality, in either direction.
+  Relation perturbed = legacy;
+  perturbed.Apply(bag.front().first, +1);
+  EXPECT_FALSE(compact.BagEquals(perturbed));
+  EXPECT_FALSE(perturbed.BagEquals(compact));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarPropertyTest,
+                         ::testing::Values(3, 17, 4242, 90210));
+
+TEST(TupleStoreCollisionTest, ForcedCollisionsKeepTuplesDistinct) {
+  // Drive 48 distinct tuples into one probe chain (same hash), through
+  // several rehashes, half-deletion (tombstones) and row-id recycling. A
+  // table that ever trusts the hash alone, or drops a chain across a
+  // tombstone, fails this.
+  TupleStore store(1);
+  constexpr uint64_t kHash = 0x9e3779b97f4a7c15ull;
+  constexpr uint64_t kN = 48;
+  for (uint64_t i = 0; i < kN; ++i) {
+    const Slot s = MakeSlot(SlotTag::kInlineInt, i);
+    store.ApplyWithHashForTest(&s, kHash, static_cast<int64_t>(i + 1));
+  }
+  EXPECT_EQ(store.live_rows(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    const Slot s = MakeSlot(SlotTag::kInlineInt, i);
+    EXPECT_EQ(store.Count(&s, kHash), static_cast<int64_t>(i + 1)) << i;
+  }
+  // Delete the even tuples; odd survivors must stay reachable through the
+  // tombstones left mid-chain.
+  for (uint64_t i = 0; i < kN; i += 2) {
+    const Slot s = MakeSlot(SlotTag::kInlineInt, i);
+    store.ApplyWithHashForTest(&s, kHash, -static_cast<int64_t>(i + 1));
+  }
+  EXPECT_EQ(store.live_rows(), kN / 2);
+  for (uint64_t i = 0; i < kN; ++i) {
+    const Slot s = MakeSlot(SlotTag::kInlineInt, i);
+    EXPECT_EQ(store.Count(&s, kHash),
+              i % 2 == 0 ? 0 : static_cast<int64_t>(i + 1))
+        << i;
+  }
+  // Reinsert the deleted half: recycled row ids, still all distinct.
+  for (uint64_t i = 0; i < kN; i += 2) {
+    const Slot s = MakeSlot(SlotTag::kInlineInt, i);
+    store.ApplyWithHashForTest(&s, kHash, 7);
+  }
+  EXPECT_EQ(store.live_rows(), kN);
+  for (uint64_t i = 0; i < kN; i += 2) {
+    const Slot s = MakeSlot(SlotTag::kInlineInt, i);
+    EXPECT_EQ(store.Count(&s, kHash), 7) << i;
+  }
+}
+
+Tuple T2(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+TEST(RelationCowTest, FilterOnAbsentColumnSharesTheStore) {
+  Relation rel({"a", "b"}, RowEncoding::kCompact);
+  for (int64_t i = 0; i < 100; ++i) rel.Apply(T2(i, i % 7), 1);
+
+  const TupleStoreStats& stats = TupleStoreStats::Global();
+  const uint64_t copies_before =
+      stats.deep_copies.load(std::memory_order_relaxed);
+  Relation same = rel.Filter("absent_column", CompareOp::kLt, 3.0);
+  // The unfiltered result is the same store, not a copy of it.
+  EXPECT_EQ(&same.store(), &rel.store());
+  EXPECT_EQ(stats.deep_copies.load(std::memory_order_relaxed),
+            copies_before);
+  EXPECT_TRUE(same.BagEquals(rel));
+
+  // Copy-on-write: the first mutation of the shared result pays exactly
+  // one deep copy and leaves the original untouched.
+  same.Apply(T2(999, 999), 1);
+  EXPECT_EQ(stats.deep_copies.load(std::memory_order_relaxed),
+            copies_before + 1);
+  EXPECT_NE(&same.store(), &rel.store());
+  EXPECT_EQ(rel.Count(T2(999, 999)), 0);
+  EXPECT_EQ(same.Count(T2(999, 999)), 1);
+
+  // Mutating the *original* after the fork is also copy-free: it is the
+  // store's sole owner again.
+  const uint64_t copies_after_fork =
+      stats.deep_copies.load(std::memory_order_relaxed);
+  rel.Apply(T2(555, 555), 1);
+  EXPECT_EQ(stats.deep_copies.load(std::memory_order_relaxed),
+            copies_after_fork);
+  EXPECT_EQ(same.Count(T2(555, 555)), 0);
+}
+
+TEST(RelationCowTest, LegacyFilterOnAbsentColumnStillCopies) {
+  // The legacy encoding has no shared store; the absent-column path must
+  // still return an equal, independent relation.
+  Relation rel({"a", "b"}, RowEncoding::kLegacy);
+  for (int64_t i = 0; i < 20; ++i) rel.Apply(T2(i, i), 1);
+  Relation same = rel.Filter("absent_column", CompareOp::kGt, 0.0);
+  EXPECT_TRUE(same.BagEquals(rel));
+  same.Apply(T2(999, 999), 1);
+  EXPECT_EQ(rel.Count(T2(999, 999)), 0);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -214,9 +214,8 @@ TEST_P(DeltaEnginePropertyTest, IncrementalMatchesRecompute) {
   ASSERT_TRUE(expect3.ok());
   EXPECT_TRUE(engine.view(v3)->BagEquals(*expect3));
   // Views never go negative.
-  for (const auto& [tuple, count] : engine.view(v3)->rows()) {
-    EXPECT_GT(count, 0);
-  }
+  engine.view(v3)->ForEachRow(
+      [](const Tuple&, int64_t count) { EXPECT_GT(count, 0); });
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeltaEnginePropertyTest,

@@ -60,9 +60,8 @@ TEST_F(SimulationTest, DeletesHandled) {
   EXPECT_TRUE(*verified);
   // Bases never go negative.
   for (const TableId t : {tables_.users, tables_.tweets}) {
-    for (const auto& [tuple, count] : sim.engine().base(t)->rows()) {
-      EXPECT_GT(count, 0);
-    }
+    sim.engine().base(t)->ForEachRow(
+        [](const Tuple&, int64_t count) { EXPECT_GT(count, 0); });
   }
 }
 
